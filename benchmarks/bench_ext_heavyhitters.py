@@ -1,0 +1,80 @@
+"""Extension — the traffic matrix in bounded memory.
+
+Section 8 calls the sampled source-destination matrix hard "mainly
+because of its large size".  Memory, not sampling, is the first wall:
+a counter per pair scales with the pair population.  This benchmark
+runs the bounded-memory :class:`~repro.netmon.TopNMatrix`
+(Misra-Gries) against the exact matrix, at several counter budgets,
+with and without 1-in-50 sampling in front — showing that the heavy
+pairs an operator actually reads off the matrix survive both
+reductions.
+"""
+
+from repro.core.sampling.systematic import SystematicSampler
+from repro.netmon.heavyhitters import TopNMatrix
+from repro.netmon.objects import SourceDestMatrix
+
+CAPACITIES = (16, 64, 256)
+TOP_K = 10
+
+
+def run_study(window):
+    exact = SourceDestMatrix()
+    exact.observe(window)
+    exact_top = [pair for pair, _ in exact.top_pairs(TOP_K)]
+    n_pairs = len(exact.snapshot()["packets"])
+
+    sampled_window = SystematicSampler(granularity=50, phase=1).sample(
+        window
+    ).apply(window)
+
+    rows = []
+    for capacity in CAPACITIES:
+        full_stream = TopNMatrix(capacity=capacity)
+        full_stream.observe(window)
+        recall_full = _recall(exact_top, full_stream, TOP_K)
+
+        sampled = TopNMatrix(capacity=capacity)
+        sampled.observe(sampled_window)
+        recall_sampled = _recall(exact_top, sampled, TOP_K)
+        rows.append((capacity, recall_full, recall_sampled))
+    return n_pairs, rows
+
+
+def _recall(exact_top, bounded, k):
+    kept = [pair for pair, _ in bounded.top_pairs(2 * k)]
+    return len(set(exact_top) & set(kept)) / len(exact_top)
+
+
+def test_ext_bounded_memory_matrix(benchmark, half_hour_window, emit):
+    n_pairs, rows = benchmark.pedantic(
+        run_study, args=(half_hour_window,), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Extension: top-%d matrix recall under bounded memory "
+        "(population: %d distinct pairs)" % (TOP_K, n_pairs),
+        "%-10s %18s %22s"
+        % ("counters", "recall (full)", "recall (1-in-50 fed)"),
+    ]
+    for capacity, recall_full, recall_sampled in rows:
+        lines.append(
+            "%-10d %17.0f%% %21.0f%%"
+            % (capacity, 100 * recall_full, 100 * recall_sampled)
+        )
+    lines.append(
+        "a few dozen Misra-Gries counters recover the heavy pairs a "
+        "%d-pair matrix holds, sampled or not — the workable core of "
+        "the matrix object the paper deemed hard." % n_pairs
+    )
+    emit("\n".join(lines))
+
+    by_capacity = {c: (f, s) for c, f, s in rows}
+    # Memory far below the pair population still finds the heavy pairs.
+    assert by_capacity[64][0] >= 0.8
+    assert by_capacity[256][0] >= 0.9
+    # Feeding the summary from a 1-in-50 sample barely hurts.
+    assert by_capacity[256][1] >= 0.8
+    # Recall should not decrease with more memory.
+    recalls = [f for _c, f, _s in rows]
+    assert recalls == sorted(recalls)

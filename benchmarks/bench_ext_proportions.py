@@ -1,0 +1,99 @@
+"""Section 8 extension — proportion targets and the traffic matrix.
+
+"Our methodology can be extended and applied to characterizations of
+network traffic that are based on proportions, e.g., TCP/UDP port
+distribution.  More difficult would be to characterize the goodness of
+fit of the sampled source-destination traffic matrix..."
+
+This benchmark scores the protocol and well-known-port mixes with phi
+across granularities (they behave like the paper's binned targets) and
+quantifies the matrix pathology: estimated totals stay accurate while
+per-pair coverage collapses, because most pairs are tiny.
+"""
+
+import numpy as np
+
+from repro.analysis.matrix import compare_matrices
+from repro.analysis.proportions import (
+    port_target,
+    protocol_target,
+    score_categorical,
+)
+from repro.core.sampling.systematic import SystematicSampler
+
+GRANULARITIES = (4, 64, 1024, 16384)
+
+
+def run_extension(window):
+    targets = {"protocol-mix": protocol_target(), "port-mix": port_target()}
+    proportions = {
+        name: target.proportions(window) for name, target in targets.items()
+    }
+    phi_rows = {}
+    matrix_rows = []
+    for granularity in GRANULARITIES:
+        result = SystematicSampler(granularity=granularity, phase=1).sample(
+            window
+        )
+        phi_rows[granularity] = {
+            name: score_categorical(
+                window, result, target, proportions=proportions[name]
+            ).phi
+            for name, target in targets.items()
+        }
+        matrix_rows.append((granularity, compare_matrices(window, result)))
+    return phi_rows, matrix_rows
+
+
+def test_ext_proportion_and_matrix_targets(benchmark, half_hour_window, emit):
+    phi_rows, matrix_rows = benchmark.pedantic(
+        run_extension, args=(half_hour_window,), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Section 8 extension: categorical targets (systematic sampling)",
+        "%-8s %14s %14s" % ("1/x", "protocol phi", "port-mix phi"),
+    ]
+    for granularity in GRANULARITIES:
+        lines.append(
+            "%-8d %14.4f %14.4f"
+            % (
+                granularity,
+                phi_rows[granularity]["protocol-mix"],
+                phi_rows[granularity]["port-mix"],
+            )
+        )
+    lines.append("")
+    lines.append("traffic matrix under sampling:")
+    lines.append(
+        "%-8s %10s %12s %12s %14s"
+        % ("1/x", "coverage", "total err", "top-10 hit", "cells<5 exp")
+    )
+    for granularity, comparison in matrix_rows:
+        lines.append(
+            "%-8d %9.1f%% %11.2f%% %11.0f%% %13.0f%%"
+            % (
+                granularity,
+                100 * comparison.coverage,
+                100 * comparison.total_relative_error,
+                100 * comparison.top_k_overlap,
+                100 * comparison.small_cell_fraction,
+            )
+        )
+    emit("\n".join(lines))
+
+    # Proportion targets behave like the binned ones: phi grows with
+    # granularity and stays tiny at fine fractions.
+    assert phi_rows[4]["protocol-mix"] < 0.01
+    assert phi_rows[16384]["protocol-mix"] > phi_rows[4]["protocol-mix"]
+
+    # The matrix pathology the paper predicts: coverage collapses and
+    # most cells are below chi-square validity at coarse fractions,
+    # while the scaled total stays accurate and the heavy pairs survive.
+    coarse = dict(matrix_rows)[16384]
+    fine = dict(matrix_rows)[4]
+    assert fine.coverage > 0.9
+    assert coarse.coverage < 0.5
+    assert coarse.total_relative_error < 0.05
+    assert coarse.small_cell_fraction > 0.9
+    assert coarse.top_k_overlap >= 0.5

@@ -1,0 +1,85 @@
+"""Figures 10 & 11 — mean systematic phi vs elapsed time.
+
+"For all sampling fractions the sampling scores improve with elapsed
+time, as one might expect" — systematic samples drawn over
+exponentially growing prefixes of the hour, scored against the full
+hour's population (the reading under which Section 7.3's remark about
+non-stationarity matters: a short window is an unrepresentative slice
+of the hour no matter how densely it is sampled).
+"""
+
+from repro.core.evaluation.experiment import ExperimentGrid, mean_phi_series
+from repro.core.evaluation.report import format_series_table
+from repro.core.evaluation.targets import (
+    INTERARRIVAL_TARGET,
+    PACKET_SIZE_TARGET,
+)
+
+#: Elapsed-time windows (seconds): ~2 minutes through the whole hour.
+WINDOWS_S = (112, 225, 450, 900, 1800, 3600)
+GRANULARITIES = (16, 256, 4096)
+
+
+def run_sweep(trace, target):
+    grid = ExperimentGrid(
+        methods=("systematic",),
+        granularities=GRANULARITIES,
+        intervals_us=tuple(s * 1_000_000 for s in WINDOWS_S),
+        replications=5,
+        seed=10,
+        score_against="full",
+        targets=(target,),
+    )
+    return grid.run(trace)
+
+
+def check_and_emit(result, target_name, figure, emit):
+    columns = {}
+    for granularity in GRANULARITIES:
+        subset = result.filter(granularity=granularity)
+        series = mean_phi_series(
+            subset, target_name, "systematic", over="interval_us"
+        )
+        columns["1/%d" % granularity] = {
+            us // 60_000_000: phi for us, phi in series.items()
+        }
+    emit(
+        format_series_table(
+            "Figure %d: mean systematic phi vs elapsed time, %s "
+            "(x = minutes, scored against the full hour)"
+            % (figure, target_name),
+            "minutes",
+            columns,
+        )
+    )
+    for granularity in GRANULARITIES:
+        series = mean_phi_series(
+            result.filter(granularity=granularity),
+            target_name,
+            "systematic",
+            over="interval_us",
+        )
+        ordered = [series[us] for us in sorted(series)]
+        # Scores improve with elapsed time: the full hour beats the
+        # shortest window for every fraction.
+        assert ordered[-1] < ordered[0]
+
+
+def test_fig10_size_vs_elapsed_time(benchmark, hour_trace, emit):
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(hour_trace, PACKET_SIZE_TARGET),
+        rounds=1,
+        iterations=1,
+    )
+    check_and_emit(result, "packet-size", 10, emit)
+
+
+def test_fig11_iat_vs_elapsed_time(benchmark, hour_trace, emit):
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(hour_trace, INTERARRIVAL_TARGET),
+        rounds=1,
+        iterations=1,
+    )
+    check_and_emit(result, "interarrival", 11, emit)

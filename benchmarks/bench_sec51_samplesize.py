@@ -1,0 +1,42 @@
+"""Section 5.1 — Cochran sample sizes for estimating the mean.
+
+The paper computes four closed-form sample sizes from the population
+parameters of Table 3.  These must reproduce essentially exactly
+(they are arithmetic, not simulation).
+"""
+
+from repro.core.samplesize import plan_for_population, required_sample_size
+
+#: (label, mean, std, accuracy %, paper's n).
+PAPER_CASES = (
+    ("packet size, r = 5%", 232, 236, 5, 1590),
+    ("packet size, r = 1%", 232, 236, 1, 39752),
+    ("interarrival, r = 5%", 2358, 2734, 5, 2066),
+    ("interarrival, r = 1%", 2358, 2734, 1, 51644),
+)
+
+
+def test_sec51_cochran_sample_sizes(benchmark, emit):
+    def run():
+        return [
+            required_sample_size(mean, std, accuracy)
+            for _label, mean, std, accuracy, _paper in PAPER_CASES
+        ]
+
+    ours = benchmark(run)
+
+    lines = [
+        "Section 5.1: sample sizes for the mean (95% confidence)",
+        "%-24s %10s %10s" % ("case", "paper", "measured"),
+    ]
+    for (label, _m, _s, _a, paper), measured in zip(PAPER_CASES, ours):
+        lines.append("%-24s %10d %10d" % (label, paper, measured))
+    plan = plan_for_population(232, 236, 1_600_000, 5)
+    lines.append(
+        "sampling fraction for the 5%% size case: %.2f%% of 1.6 M packets "
+        "(paper: ~0.10%%)" % (100 * plan.sampling_fraction)
+    )
+    emit("\n".join(lines))
+
+    for (label, _m, _s, _a, paper), measured in zip(PAPER_CASES, ours):
+        assert abs(measured - paper) <= 2, label

@@ -1,0 +1,85 @@
+"""Table 2 — per-second packet, byte, and mean-size distributions.
+
+Regenerates the paper's Table 2 rows (min / 25% / median / 75% / max /
+mean / std / skew / kurtosis for the three per-second series) from the
+synthetic hour and prints them next to the published values.  The
+benchmark measures the series-plus-describe pipeline.
+"""
+
+from repro.stats.describe import describe
+from repro.trace.series import per_second_series
+
+#: Published Table 2 rows: (label, scale, values) with values =
+#: (min, 25%, median, 75%, max, mean, std, skew, kurtosis).
+PAPER_ROWS = {
+    "packets/s": (156, 364, 412, 473, 966, 424.2, 85.1, 0.96, 4.95),
+    "kB/s": (26.6, 71.1, 90.9, 117.6, 330.6, 98.6, 38.6, 1.2, 5.2),
+    "mean size (B)": (82, 190, 222, 259, 398, 226.2, 50.5, 0.36, 2.9),
+}
+
+
+def test_table2_per_second_summary(benchmark, hour_trace, emit):
+    def run():
+        series = per_second_series(hour_trace)
+        return (
+            describe(series.packets),
+            describe(series.bytes),
+            describe(series.mean_size),
+        )
+
+    pps, bps, mean_size = benchmark(run)
+
+    def row(label, d, scale=1.0):
+        return "%-14s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %6.2f %6.2f" % (
+            label,
+            d.minimum / scale,
+            d.p25 / scale,
+            d.median / scale,
+            d.p75 / scale,
+            d.maximum / scale,
+            d.mean / scale,
+            d.std / scale,
+            d.skewness,
+            d.kurtosis,
+        )
+
+    def paper_row(label):
+        v = PAPER_ROWS[label]
+        return "%-14s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %6.2f %6.2f" % (
+            (label + " (paper)",) + v
+        )
+
+    header = "%-14s %8s %8s %8s %8s %8s %8s %8s %6s %6s" % (
+        "series",
+        "min",
+        "25%",
+        "median",
+        "75%",
+        "max",
+        "mean",
+        "std",
+        "skew",
+        "kurt",
+    )
+    lines = [
+        "Table 2: per-second volume distributions (%d packets in hour)"
+        % len(hour_trace),
+        header,
+        "-" * len(header),
+        row("packets/s", pps),
+        paper_row("packets/s"),
+        row("kB/s", bps, scale=1000.0),
+        paper_row("kB/s"),
+        row("mean size (B)", mean_size),
+        paper_row("mean size (B)"),
+    ]
+    emit("\n".join(lines))
+
+    # Shape assertions: the calibration contract at benchmark strictness.
+    import pytest
+
+    assert pps.mean == pytest.approx(PAPER_ROWS["packets/s"][5], rel=0.08)
+    assert bps.mean / 1000.0 == pytest.approx(PAPER_ROWS["kB/s"][5], rel=0.10)
+    assert mean_size.mean == pytest.approx(
+        PAPER_ROWS["mean size (B)"][5], rel=0.08
+    )

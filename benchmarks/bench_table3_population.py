@@ -1,0 +1,70 @@
+"""Table 3 — the parent population's size and interarrival quantiles.
+
+Regenerates the paper's Table 3 (packet sizes in bytes, interarrival
+times in microseconds under the 400 us monitor clock) and prints the
+measured row under the published row.  Benchmarks the full-population
+description.
+"""
+
+import pytest
+
+from repro.stats.describe import describe
+
+#: Published Table 3: (min, 5%, 25%, median, 75%, 95%, max, mean, std).
+PAPER_SIZES = (28, 40, 40, 76, 552, 552, 1500, 232, 236)
+PAPER_IATS = (0, 0, 400, 1600, 3200, 7600, 49600, 2358, 2734)  # "<400" -> 0
+
+
+def test_table3_population_statistics(benchmark, hour_trace, emit):
+    def run():
+        return (
+            describe(hour_trace.sizes),
+            describe(hour_trace.interarrivals_us()),
+        )
+
+    sizes, iats = benchmark(run)
+
+    def fmt(label, values):
+        return "%-22s" % label + "".join("%9.0f" % v for v in values)
+
+    def row(label, d):
+        return fmt(
+            label,
+            (
+                d.minimum,
+                d.p5,
+                d.p25,
+                d.median,
+                d.p75,
+                d.p95,
+                d.maximum,
+                d.mean,
+                d.std,
+            ),
+        )
+
+    header = "%-22s" % "distribution" + "".join(
+        "%9s" % h
+        for h in ("min", "5%", "25%", "median", "75%", "95%", "max", "mean", "std")
+    )
+    emit(
+        "\n".join(
+            [
+                "Table 3: population statistics (%d packets)" % len(hour_trace),
+                header,
+                "-" * len(header),
+                row("packet size (B)", sizes),
+                fmt("  (paper)", PAPER_SIZES),
+                row("interarrival (us)", iats),
+                fmt("  (paper, <400 -> 0)", PAPER_IATS),
+            ]
+        )
+    )
+
+    # The structural quantiles must match exactly.
+    assert (sizes.minimum, sizes.p5, sizes.p25) == (28, 40, 40)
+    assert (sizes.p75, sizes.p95, sizes.maximum) == (552, 552, 1500)
+    assert sizes.mean == pytest.approx(232, rel=0.05)
+    assert sizes.std == pytest.approx(236, rel=0.05)
+    assert iats.mean == pytest.approx(2358, rel=0.10)
+    assert iats.p25 % 400 == 0 and iats.median % 400 == 0

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite regenerates every table and figure of the paper on
+the full calibrated hour trace (~1.5 million packets).  The trace is
+generated once per session; each benchmark file prints the reproduced
+rows/series through the ``emit`` helper (bypassing pytest's capture so
+they appear alongside the timing table).
+"""
+
+import pytest
+
+from repro.workload.generator import nsfnet_hour_trace
+
+
+@pytest.fixture(scope="session")
+def hour_trace():
+    """The parent population: one calibrated hour, clock-quantized."""
+    return nsfnet_hour_trace(seed=1993, duration_s=3600)
+
+
+@pytest.fixture(scope="session")
+def half_hour_window(hour_trace):
+    """Figure 3's 2048-second analysis interval."""
+    from repro.trace.filters import prefix_interval
+
+    return prefix_interval(hour_trace, 2048 * 1_000_000)
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print reproduction output so it is visible during the run."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

@@ -1,0 +1,87 @@
+"""Usage-based billing under sampling (the paper's Section 5.2 scenario).
+
+"Imagine a network service provider who uses traffic-based charging
+trying to convince his customers that sampling does not adversely
+affect their charges."  The provider samples 1-in-k, scales counts
+back up, and bills per packet.  The *cost* (l1) metric is exactly the
+money at stake: overcharge is refunded, undercharge is lost revenue.
+
+This example bills each source network of a synthetic trace from
+sampled estimates, at several sampling granularities, and reports the
+total absolute billing error — plus the Cochran-recommended sampling
+rate for a 1% accurate total.
+
+Run:  python examples/billing_audit.py
+"""
+
+import numpy as np
+
+from repro.core.samplesize import plan_for_population, required_sample_size
+from repro.core.sampling.factory import make_sampler
+from repro.workload.generator import nsfnet_hour_trace
+
+PRICE_PER_PACKET = 0.0001  # dollars; 1993 pricing was imaginative too
+
+
+def billed_packets_per_net(trace, indices=None, scale=1.0):
+    """Estimated packets per source network, scaled to the population."""
+    nets = trace.src_nets if indices is None else trace.src_nets[indices]
+    counts = {}
+    for net, count in zip(*np.unique(nets, return_counts=True)):
+        counts[int(net)] = count * scale
+    return counts
+
+
+def main() -> None:
+    trace = nsfnet_hour_trace(seed=77, duration_s=600)
+    truth = billed_packets_per_net(trace)
+    total_packets = len(trace)
+    print(
+        "population: %d packets from %d customer networks\n"
+        % (total_packets, len(truth))
+    )
+
+    rng = np.random.default_rng(1)
+    print(
+        "%12s %14s %14s %14s"
+        % ("granularity", "overcharge($)", "undercharge($)", "total err($)")
+    )
+    for granularity in (10, 50, 250, 1000, 5000):
+        sampler = make_sampler("systematic", granularity, rng=rng)
+        result = sampler.sample(trace, rng=rng)
+        estimates = billed_packets_per_net(
+            trace, result.indices, scale=1.0 / result.fraction
+        )
+        over = under = 0.0
+        for net, real in truth.items():
+            estimated = estimates.get(net, 0.0)
+            if estimated > real:
+                over += (estimated - real) * PRICE_PER_PACKET
+            else:
+                under += (real - estimated) * PRICE_PER_PACKET
+        print(
+            "%12s %14.2f %14.2f %14.2f"
+            % ("1/%d" % granularity, over, under, over + under)
+        )
+
+    # What would Cochran recommend for a 1%-accurate packet count?
+    sizes = trace.sizes
+    n = required_sample_size(
+        float(sizes.mean()), float(sizes.std()), accuracy_percent=1
+    )
+    plan = plan_for_population(
+        float(sizes.mean()), float(sizes.std()), total_packets, accuracy_percent=1
+    )
+    print(
+        "\nCochran: %d samples (+-1%% on the mean size at 95%% confidence)"
+        " -> sample 1 in %d packets" % (n, plan.granularity)
+    )
+    print(
+        "the l1 billing error is what the 'cost' disparity metric "
+        "measures; the provider picks the coarsest granularity whose "
+        "cost stays under the refund budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""The NSFNET statistics-collection story (paper Section 2, Figure 1).
+
+Simulates a backbone node's statistics pipeline across "months" of
+growing traffic:
+
+* the SNMP interface counters always see every forwarded packet;
+* the NNStat categorization processor has a fixed examination budget,
+  so as offered load grows past it, the categorized totals fall behind
+  — the Figure 1 discrepancy;
+* in month 7 the operator deploys 1-in-50 sampling in front of the
+  collector (the September 1991 fix), and the scaled-up estimates land
+  back on the SNMP truth.
+
+Run:  python examples/nsfnet_collection.py
+"""
+
+from repro.netmon.figure1 import simulate_collection_history
+
+#: Examination budget of the dedicated statistics processor (pps).
+COLLECTOR_CAPACITY = 500
+
+#: Month-by-month mean offered load (pps): steady growth, as on the T1
+#: backbone 1988-1993.
+MONTHLY_LOAD = (150, 220, 300, 420, 560, 700, 850, 1000)
+
+#: Month (0-based) in which 1-in-50 sampling is deployed.
+SAMPLING_DEPLOYED_AT = 6
+
+
+def main() -> None:
+    months = simulate_collection_history(
+        MONTHLY_LOAD,
+        collector_capacity_pps=COLLECTOR_CAPACITY,
+        sampling_deployed_at=SAMPLING_DEPLOYED_AT,
+        seconds_per_month=120,
+        seed=1000,
+    )
+    print(
+        "%5s %10s %12s %12s %12s  %s"
+        % ("month", "load(pps)", "snmp", "categorized", "discrep.", "mode")
+    )
+    for m in months:
+        print(
+            "%5d %10.0f %12d %12d %11.1f%%  %s"
+            % (
+                m.month + 1,
+                m.offered_pps,
+                m.snmp_packets,
+                m.categorized_packets,
+                100 * m.discrepancy,
+                "1-in-50 sampling" if m.sampled else "full examination",
+            )
+        )
+
+    print(
+        "\nonce offered load passes the %d pps examination budget the "
+        "categorized totals fall behind SNMP truth; deploying 1-in-50 "
+        "sampling (month %d) restores agreement at 2%% of the cost."
+        % (COLLECTOR_CAPACITY, SAMPLING_DEPLOYED_AT + 1)
+    )
+
+
+if __name__ == "__main__":
+    main()

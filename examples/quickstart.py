@@ -1,0 +1,54 @@
+"""Quickstart: sample a traffic population and score the sample.
+
+Generates ten minutes of calibrated NSFNET-entrance traffic, applies
+the operational 1-in-50 systematic sampler, and reports how well the
+sample reproduces the packet-size and interarrival-time distributions
+— the paper's whole methodology in twenty lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.evaluation.comparison import score_sample
+from repro.core.evaluation.targets import PAPER_TARGETS
+from repro.core.metrics.chisquare import chi_square_test
+from repro.core.sampling.factory import make_sampler
+from repro.workload.generator import nsfnet_hour_trace
+
+
+def main() -> None:
+    print("generating ten minutes of synthetic NSFNET-entrance traffic...")
+    trace = nsfnet_hour_trace(seed=42, duration_s=600)
+    print(
+        "  %d packets, %d bytes, %.0f packets/s average"
+        % (len(trace), trace.total_bytes, len(trace) / 600)
+    )
+
+    sampler = make_sampler("systematic", granularity=50)
+    result = sampler.sample(trace)
+    print(
+        "\nsystematic 1-in-50 sample: %d packets (fraction %.4f)"
+        % (result.sample_size, result.fraction)
+    )
+
+    for target in PAPER_TARGETS:
+        score = score_sample(trace, result, target)
+        test = chi_square_test(
+            score.observed,
+            target.bins.proportions(target.population_values(trace)),
+        )
+        verdict = "rejected" if test.rejected else "compatible"
+        print(
+            "  %-12s phi = %.4f   chi2 = %6.2f   %s with the population "
+            "at the 0.05 level"
+            % (target.name, score.phi, score.scores.chi2, verdict)
+        )
+
+    print(
+        "\nphi = 0 would be a perfect miniature of the population; the "
+        "paper's operational conclusion is that 1-in-50 systematic "
+        "sampling stays compatible with the parent distributions."
+    )
+
+
+if __name__ == "__main__":
+    main()

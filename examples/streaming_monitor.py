@@ -1,0 +1,110 @@
+"""A live monitor built from the streaming primitives.
+
+Everything a forwarding-path monitor does per packet, in O(1) state,
+assembled from this library's online pieces:
+
+* :class:`StreamingSystematic` decides keep/skip (1-in-50, the T3
+  firmware's rule);
+* kept packets feed :class:`RunningStats` (size moments),
+  :class:`P2Quantile` markers (size quartiles), a
+  :class:`RunningHistogram` over the paper's size bins, and a
+  :class:`MisraGries` summary of source-destination pairs;
+* at the end, the sampled state is compared to the full population the
+  monitor never stored.
+
+Nothing here ever holds more than a few hundred bytes of state, yet it
+reproduces Table 3's numbers and the heavy matrix pairs.
+
+Run:  python examples/streaming_monitor.py
+"""
+
+import numpy as np
+
+from repro.core.metrics.bins import PACKET_SIZE_BINS
+from repro.core.sampling.streaming import StreamingSystematic
+from repro.netmon.heavyhitters import MisraGries
+from repro.netmon.objects import SourceDestMatrix
+from repro.stats.streams import P2Quantile, RunningHistogram, RunningStats
+from repro.workload.generator import nsfnet_hour_trace
+
+GRANULARITY = 50
+
+
+def main() -> None:
+    trace = nsfnet_hour_trace(seed=55, duration_s=600)
+    print(
+        "offered: %d packets in 10 minutes; monitor keeps 1 in %d"
+        % (len(trace), GRANULARITY)
+    )
+
+    selector = StreamingSystematic(granularity=GRANULARITY, phase=11)
+    moments = RunningStats()
+    quartiles = {q: P2Quantile(q) for q in (0.25, 0.5, 0.75)}
+    histogram = RunningHistogram(PACKET_SIZE_BINS.edges)
+    matrix = MisraGries(capacity=32)
+
+    # The per-packet loop a monitor would run (vector-free on purpose).
+    timestamps = trace.timestamps_us
+    sizes = trace.sizes
+    src = trace.src_nets
+    dst = trace.dst_nets
+    kept = 0
+    for i in range(len(trace)):
+        if not selector.offer(int(timestamps[i])):
+            continue
+        kept += 1
+        size = float(sizes[i])
+        moments.update(size)
+        for estimator in quartiles.values():
+            estimator.update(size)
+        histogram.update(size)
+        matrix.update((int(src[i]), int(dst[i])))
+
+    print("kept %d packets (%.2f%%)\n" % (kept, 100 * kept / len(trace)))
+
+    population = trace.sizes.astype(float)
+    print("%-28s %12s %12s" % ("packet-size statistic", "monitor", "truth"))
+    print("%-28s %12.1f %12.1f" % ("mean", moments.mean, population.mean()))
+    print("%-28s %12.1f %12.1f" % ("std", moments.std, population.std()))
+    for level, estimator in sorted(quartiles.items()):
+        print(
+            "%-28s %12.0f %12.0f"
+            % (
+                "p%d" % int(level * 100),
+                estimator.value,
+                np.quantile(population, level),
+            )
+        )
+    sampled_props = histogram.counts / histogram.total
+    true_props = PACKET_SIZE_BINS.proportions(population)
+    for label, sampled, true in zip(
+        PACKET_SIZE_BINS.labels(), sampled_props, true_props
+    ):
+        print(
+            "%-28s %11.1f%% %11.1f%%"
+            % ("share %s bytes" % label, 100 * sampled, 100 * true)
+        )
+
+    exact_matrix = SourceDestMatrix()
+    exact_matrix.observe(trace)
+    true_top = [pair for pair, _count in exact_matrix.top_pairs(5)]
+    monitor_top = [
+        pair
+        for pair, _count in sorted(
+            matrix.candidates().items(), key=lambda kv: -kv[1]
+        )[:10]
+    ]
+    hits = len(set(true_top) & set(monitor_top))
+    print(
+        "\ntop-5 traffic pairs recovered from 32 Misra-Gries counters: "
+        "%d of 5" % hits
+    )
+    print(
+        "monitor state: ~%d counters + 15 quantile markers + %d histogram "
+        "bins — independent of trace length."
+        % (32, histogram.counts.size)
+    )
+
+
+if __name__ == "__main__":
+    main()

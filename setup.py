@@ -1,0 +1,10 @@
+"""Thin setup shim.
+
+All project metadata lives in ``pyproject.toml``.  This file exists so
+environments without the ``wheel`` package (which modern editable
+installs require) can still do ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

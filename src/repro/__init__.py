@@ -1,0 +1,39 @@
+"""Reproduction of Claffy, Polyzos & Braun (SIGCOMM 1993).
+
+*Application of Sampling Methodologies to Network Traffic
+Characterization* studied how well different packet-sampling
+strategies — systematic, stratified random, and simple random; packet-
+driven and timer-driven; across sampling fractions and intervals —
+reproduce the packet-size and interarrival-time distributions of a
+wide-area traffic population.
+
+Package layout:
+
+* :mod:`repro.trace` — packet-trace container, pcap I/O, monitor clock;
+* :mod:`repro.stats` — from-scratch statistics (chi-square tails,
+  summary descriptions, boxplots);
+* :mod:`repro.workload` — calibrated synthetic NSFNET-entrance traffic
+  (the stand-in for the paper's proprietary 1993 trace);
+* :mod:`repro.core` — the sampling methods, disparity metrics, and
+  experiment harness (the paper's contribution);
+* :mod:`repro.netmon` — the NSFNET statistics-collection environment
+  (SNMP counters, NNStat, ARTS) of Section 2;
+* :mod:`repro.analysis` — Section 8's extensions (proportion targets,
+  traffic-matrix assessment).
+
+Quick start::
+
+    from repro.workload import nsfnet_hour_trace
+    from repro.core import make_sampler, PACKET_SIZE_TARGET
+    from repro.core.evaluation import score_sample
+
+    trace = nsfnet_hour_trace(duration_s=600)
+    sampler = make_sampler("systematic", granularity=50)
+    result = sampler.sample(trace)
+    score = score_sample(trace, result, PACKET_SIZE_TARGET)
+    print(score.phi)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

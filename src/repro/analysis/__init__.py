@@ -1,0 +1,64 @@
+"""Extensions of the methodology (paper Section 8).
+
+"Our methodology can be extended and applied to characterizations of
+network traffic that are based on proportions, e.g., TCP/UDP port
+distribution.  More difficult would be to characterize the goodness of
+fit of the sampled source-destination traffic matrix, mainly because
+of its large size and because many traffic pairs generate small
+amounts of traffic during typical sampling intervals."
+
+* :mod:`repro.analysis.proportions` — categorical (proportion-based)
+  characterization targets: protocol mix and well-known-port mix;
+* :mod:`repro.analysis.matrix` — sampled traffic-matrix assessment,
+  including the small-cell pathology the paper predicts.
+"""
+
+from repro.analysis.proportions import (
+    CategoricalTarget,
+    port_target,
+    protocol_target,
+    score_categorical,
+)
+from repro.analysis.matrix import (
+    MatrixComparison,
+    compare_matrices,
+    matrix_cell_counts,
+)
+from repro.analysis.burst import (
+    BurstSummary,
+    summarize_bursts,
+    timer_selection_bias,
+    train_lengths,
+)
+from repro.analysis.temporal import (
+    FidelityPoint,
+    fidelity_series,
+    worst_window,
+)
+from repro.analysis.confidence import (
+    ConfidenceInterval,
+    mean_interval,
+    wald_interval,
+    wilson_interval,
+)
+
+__all__ = [
+    "CategoricalTarget",
+    "port_target",
+    "protocol_target",
+    "score_categorical",
+    "MatrixComparison",
+    "compare_matrices",
+    "matrix_cell_counts",
+    "ConfidenceInterval",
+    "mean_interval",
+    "wald_interval",
+    "wilson_interval",
+    "BurstSummary",
+    "summarize_bursts",
+    "timer_selection_bias",
+    "train_lengths",
+    "FidelityPoint",
+    "fidelity_series",
+    "worst_window",
+]

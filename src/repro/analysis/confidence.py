@@ -1,0 +1,141 @@
+"""Confidence intervals for sampled estimates.
+
+Section 5.1 treats sample sizes for means; its natural companion —
+what an operator reports next to a sampled port-mix or protocol-mix
+estimate — is a confidence interval.  This module provides:
+
+* :func:`mean_interval` — the classic normal-theory interval for a
+  sampled mean, with finite-population correction (Cochran);
+* :func:`wald_interval` and :func:`wilson_interval` — intervals for a
+  sampled proportion (Fleiss, the paper's reference [9], treats rates
+  and proportions at length; Wilson is the form that behaves at small
+  counts and extreme proportions).
+
+All intervals take the achieved sample size, so they apply directly to
+the output of any of the sampling methods at any granularity.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.samplesize import z_value
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.estimate <= self.high:
+            raise ValueError(
+                "interval [%r, %r] does not bracket the estimate %r"
+                % (self.low, self.high, self.estimate)
+            )
+
+    @property
+    def width(self) -> float:
+        """Total interval width."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether the interval covers ``value``."""
+        return self.low <= value <= self.high
+
+
+def mean_interval(
+    sample: Sequence[float],
+    confidence: float = 0.95,
+    population_size: int = 0,
+) -> ConfidenceInterval:
+    """Normal-theory interval for the population mean from a sample.
+
+    With ``population_size`` the finite-population correction
+    ``sqrt((N - n) / (N - 1))`` shrinks the interval, reflecting that a
+    sample of most of the population nearly pins the mean.
+    """
+    arr = np.asarray(sample, dtype=np.float64)
+    if arr.size < 2:
+        raise ValueError("need at least two observations for a mean interval")
+    z = z_value(confidence)
+    stderr = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    if population_size:
+        if population_size < arr.size:
+            raise ValueError("population smaller than the sample")
+        stderr *= math.sqrt(
+            (population_size - arr.size) / max(population_size - 1.0, 1.0)
+        )
+    mean = float(arr.mean())
+    return ConfidenceInterval(
+        estimate=mean,
+        low=mean - z * stderr,
+        high=mean + z * stderr,
+        confidence=confidence,
+    )
+
+
+def _check_counts(successes: int, trials: int) -> None:
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            "successes %d outside [0, %d]" % (successes, trials)
+        )
+
+
+def wald_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """The simple normal (Wald) interval p-hat +- z sqrt(pq/n).
+
+    Collapses at p-hat in {0, 1} and undercovers for small counts —
+    provided because it is what 1990s tooling used, and so coverage
+    experiments can show why Wilson is preferable.
+    """
+    _check_counts(successes, trials)
+    p = successes / trials
+    z = z_value(confidence)
+    stderr = math.sqrt(p * (1.0 - p) / trials)
+    return ConfidenceInterval(
+        estimate=p,
+        low=max(0.0, p - z * stderr),
+        high=min(1.0, p + z * stderr),
+        confidence=confidence,
+    )
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Wilson's score interval for a proportion.
+
+    Inverts the score test: center (p + z^2/2n) / (1 + z^2/n) with the
+    corresponding spread.  Behaves at zero counts and tiny proportions,
+    which is exactly the regime of sampled well-known-port shares.
+    """
+    _check_counts(successes, trials)
+    p = successes / trials
+    z = z_value(confidence)
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    center = (p + z2 / (2.0 * trials)) / denominator
+    spread = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+        / denominator
+    )
+    # The Wilson interval always contains the MLE analytically; the
+    # min/max guards absorb float round-off at the boundary counts.
+    return ConfidenceInterval(
+        estimate=p,
+        low=min(max(0.0, center - spread), p),
+        high=max(min(1.0, center + spread), p),
+        confidence=confidence,
+    )

@@ -1,0 +1,380 @@
+"""Command-line front end.
+
+Nine subcommands cover the everyday workflow:
+
+* ``generate`` — synthesize a calibrated trace and write it as pcap;
+* ``describe`` — print Table 2/3-style summary statistics of a trace;
+* ``validate`` — sanity-check a capture before analysis;
+* ``sample`` — apply one sampling method to a trace and score it;
+* ``experiment`` — run a method x granularity sweep and print the
+  mean-phi series (a small Figure 8/9 on your own data), optionally
+  saving every scored sample to CSV;
+* ``samplesize`` — Cochran sample-size planning for a trace's mean
+  size/interarrival (Section 5.1);
+* ``netmon`` — run a trace through a simulated collection node and
+  report SNMP-vs-collector agreement (Section 2 / Figure 1);
+* ``reproduce`` — the paper's whole analysis on a trace of your own;
+* ``fidelity`` — windowed phi of one sampling pass (drift detection).
+
+Installed as ``repro-traffic`` (see pyproject).
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.evaluation.comparison import score_sample
+from repro.core.evaluation.experiment import ExperimentGrid, mean_phi_series
+from repro.core.evaluation.report import format_series_table
+from repro.core.evaluation.targets import PAPER_TARGETS
+from repro.core.sampling.factory import METHOD_NAMES, make_sampler
+from repro.stats.describe import describe
+from repro.trace.pcap import read_pcap, write_pcap
+from repro.trace.series import per_second_series
+from repro.trace.trace import Trace
+from repro.workload.generator import nsfnet_hour_trace
+
+_TARGETS = {t.name: t for t in PAPER_TARGETS}
+
+
+def _load_trace(path: str) -> Trace:
+    if path == "synthetic":
+        return nsfnet_hour_trace(duration_s=600)
+    return read_pcap(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = nsfnet_hour_trace(seed=args.seed, duration_s=args.duration)
+    write_pcap(trace, args.output)
+    print(
+        "wrote %d packets (%.1f s, %d bytes) to %s"
+        % (len(trace), trace.duration_us / 1e6, trace.total_bytes, args.output)
+    )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    print("packets: %d  duration: %.1f s" % (len(trace), trace.duration_us / 1e6))
+    print(describe(trace.sizes).row("packet size (bytes)", digits=0))
+    iat = trace.interarrivals_us()
+    if iat.size:
+        print(describe(iat).row("interarrival (us)", digits=0))
+    series = per_second_series(trace)
+    if series.seconds:
+        print(describe(series.packets).row("packets/s", digits=0))
+        print(describe(series.bytes).row("bytes/s", digits=0))
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    rng = np.random.default_rng(args.seed)
+    sampler = make_sampler(args.method, args.granularity, trace=trace, rng=rng)
+    result = sampler.sample(trace, rng=rng)
+    print(
+        "%s 1/%d: %d of %d packets (fraction %.5f)"
+        % (
+            args.method,
+            args.granularity,
+            result.sample_size,
+            len(trace),
+            result.fraction,
+        )
+    )
+    for target in PAPER_TARGETS:
+        score = score_sample(trace, result, target)
+        print(
+            "  %-12s phi=%.4f chi2=%.2f significance=%.3f"
+            % (
+                target.name,
+                score.scores.phi,
+                score.scores.chi2,
+                score.scores.significance,
+            )
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    granularities = tuple(2**i for i in range(1, args.max_log2_granularity + 1))
+    grid = ExperimentGrid(
+        methods=tuple(args.methods),
+        granularities=granularities,
+        replications=args.replications,
+        seed=args.seed,
+        targets=(_TARGETS[args.target],),
+    )
+    result = grid.run(trace)
+    columns = {
+        method: mean_phi_series(result, args.target, method)
+        for method in args.methods
+    }
+    print(
+        format_series_table(
+            "mean phi, target=%s (x = granularity)" % args.target,
+            "1/x",
+            columns,
+        )
+    )
+    if args.save:
+        from repro.core.evaluation.persistence import save_result
+
+        save_result(result, args.save)
+        print("saved %d records to %s" % (len(result), args.save))
+    return 0
+
+
+def _cmd_samplesize(args: argparse.Namespace) -> int:
+    from repro.core.samplesize import plan_for_population
+
+    trace = _load_trace(args.trace)
+    quantities = {
+        "packet size (B)": trace.sizes.astype(float),
+        "interarrival (us)": trace.interarrivals_us().astype(float),
+    }
+    print(
+        "sample sizes for +-%g%% accuracy at %g%% confidence "
+        "(population of %d packets)"
+        % (args.accuracy, 100 * args.confidence, len(trace))
+    )
+    for label, values in quantities.items():
+        if values.size < 2:
+            continue
+        plan = plan_for_population(
+            float(values.mean()),
+            float(values.std()),
+            population_size=int(values.size),
+            accuracy_percent=args.accuracy,
+            confidence=args.confidence,
+        )
+        print(
+            "  %-18s n = %8d  -> sample 1 in %d (fraction %.4f%%)"
+            % (
+                label,
+                plan.required_samples,
+                plan.granularity,
+                100 * plan.sampling_fraction,
+            )
+        )
+    return 0
+
+
+def _cmd_fidelity(args: argparse.Namespace) -> int:
+    from repro.analysis.temporal import fidelity_series, worst_window
+
+    trace = _load_trace(args.trace)
+    rng = np.random.default_rng(args.seed)
+    sampler = make_sampler(args.method, args.granularity, trace=trace, rng=rng)
+    result = sampler.sample(trace, rng=rng)
+    target = _TARGETS[args.target]
+    points = fidelity_series(
+        trace, result, target, window_us=args.window * 1_000_000
+    )
+    print(
+        "windowed fidelity: %s 1-in-%d, target %s, %d s windows"
+        % (args.method, args.granularity, args.target, args.window)
+    )
+    print("%10s %10s %10s %10s" % ("start (s)", "packets", "sampled", "phi"))
+    for point in points:
+        phi_text = "%.4f" % point.phi if point.usable else "(thin)"
+        print(
+            "%10d %10d %10d %10s"
+            % (
+                point.start_us // 1_000_000,
+                point.population,
+                point.sampled,
+                phi_text,
+            )
+        )
+    worst = worst_window(points)
+    if worst is not None:
+        print(
+            "worst window starts at %d s with phi %.4f"
+            % (worst.start_us // 1_000_000, worst.phi)
+        )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.core.evaluation.suite import reproduce_study
+
+    trace = _load_trace(args.trace)
+    report = reproduce_study(
+        trace,
+        quick=args.quick,
+        phi_budget=args.phi_budget,
+        replications=args.replications,
+        seed=args.seed,
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.trace.validate import validate_trace
+
+    trace = _load_trace(args.trace)
+    issues = validate_trace(trace)
+    if not issues:
+        print("clean: %d packets, no findings" % len(trace))
+        return 0
+    for issue in issues:
+        print(issue)
+    errors = sum(issue.severity == "error" for issue in issues)
+    return 1 if errors else 0
+
+
+def _cmd_netmon(args: argparse.Namespace) -> int:
+    from repro.netmon.nnstat import NNStatCollector
+    from repro.netmon.node import BackboneNode
+
+    trace = _load_trace(args.trace)
+    node = BackboneNode(
+        "node",
+        NNStatCollector(
+            capacity_pps=args.capacity,
+            sampling_granularity=args.granularity,
+        ),
+    )
+    node.process_trace(trace)
+    snmp = node.interface.packets
+    estimate = node.collector.estimated_total_packets()
+    print(
+        "collector budget %d pps, sampling 1-in-%d"
+        % (args.capacity, args.granularity)
+    )
+    print("  SNMP forwarding-path total: %12d packets" % snmp)
+    print("  collector estimate:         %12d packets" % estimate)
+    print("  dropped by collector:       %12d selected packets"
+          % node.collector.dropped_packets)
+    if snmp:
+        print("  discrepancy:                %11.2f%%"
+              % (100 * (snmp - estimate) / snmp))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-traffic",
+        description="Packet-sampling methodology toolkit "
+        "(Claffy/Polyzos/Braun, SIGCOMM 1993 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a calibrated trace")
+    gen.add_argument("output", help="pcap output path")
+    gen.add_argument("--seed", type=int, default=1993)
+    gen.add_argument(
+        "--duration", type=int, default=3600, help="trace length in seconds"
+    )
+    gen.set_defaults(func=_cmd_generate)
+
+    desc = sub.add_parser("describe", help="summary statistics of a trace")
+    desc.add_argument(
+        "trace", help="pcap path, or 'synthetic' for a built-in 10-minute trace"
+    )
+    desc.set_defaults(func=_cmd_describe)
+
+    smp = sub.add_parser("sample", help="apply one sampling method and score it")
+    smp.add_argument("trace", help="pcap path or 'synthetic'")
+    smp.add_argument("--method", choices=METHOD_NAMES, default="systematic")
+    smp.add_argument("--granularity", type=int, default=50)
+    smp.add_argument("--seed", type=int, default=0)
+    smp.set_defaults(func=_cmd_sample)
+
+    exp = sub.add_parser("experiment", help="method x granularity phi sweep")
+    exp.add_argument("trace", help="pcap path or 'synthetic'")
+    exp.add_argument(
+        "--methods", nargs="+", choices=METHOD_NAMES, default=list(METHOD_NAMES)
+    )
+    exp.add_argument("--target", choices=sorted(_TARGETS), default="packet-size")
+    exp.add_argument("--max-log2-granularity", type=int, default=10)
+    exp.add_argument("--replications", type=int, default=3)
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument(
+        "--save", default="", help="write every scored sample to this CSV"
+    )
+    exp.set_defaults(func=_cmd_experiment)
+
+    size = sub.add_parser(
+        "samplesize", help="Cochran sample-size planning (Section 5.1)"
+    )
+    size.add_argument("trace", help="pcap path or 'synthetic'")
+    size.add_argument(
+        "--accuracy", type=float, default=5.0, help="accuracy r in percent"
+    )
+    size.add_argument("--confidence", type=float, default=0.95)
+    size.set_defaults(func=_cmd_samplesize)
+
+    mon = sub.add_parser(
+        "netmon", help="simulate a collection node (Section 2)"
+    )
+    mon.add_argument("trace", help="pcap path or 'synthetic'")
+    mon.add_argument(
+        "--capacity", type=int, default=500, help="collector budget (pps)"
+    )
+    mon.add_argument(
+        "--granularity",
+        type=int,
+        default=1,
+        help="1-in-k selection before examination (1 = examine all)",
+    )
+    mon.set_defaults(func=_cmd_netmon)
+
+    val = sub.add_parser("validate", help="sanity-check a trace")
+    val.add_argument("trace", help="pcap path or 'synthetic'")
+    val.set_defaults(func=_cmd_validate)
+
+    rep = sub.add_parser(
+        "reproduce",
+        help="run the paper's full analysis on a trace of your own",
+    )
+    rep.add_argument("trace", help="pcap path or 'synthetic'")
+    rep.add_argument(
+        "--quick", action="store_true", help="smaller sweep, fewer phases"
+    )
+    rep.add_argument("--phi-budget", type=float, default=0.05)
+    rep.add_argument("--replications", type=int, default=5)
+    rep.add_argument("--seed", type=int, default=0)
+    rep.set_defaults(func=_cmd_reproduce)
+
+    fid = sub.add_parser(
+        "fidelity", help="windowed phi of one sampling pass over a trace"
+    )
+    fid.add_argument("trace", help="pcap path or 'synthetic'")
+    fid.add_argument("--method", choices=METHOD_NAMES, default="systematic")
+    fid.add_argument("--granularity", type=int, default=50)
+    fid.add_argument("--target", choices=sorted(_TARGETS), default="packet-size")
+    fid.add_argument(
+        "--window", type=int, default=60, help="window length in seconds"
+    )
+    fid.add_argument("--seed", type=int, default=0)
+    fid.set_defaults(func=_cmd_fidelity)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly the way
+        # well-behaved Unix tools do.
+        import os
+
+        try:
+            os.close(sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

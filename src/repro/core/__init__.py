@@ -1,0 +1,84 @@
+"""The paper's primary contribution.
+
+A framework for evaluating packet-sampling strategies against a known
+parent population:
+
+* :mod:`repro.core.sampling` — the five sampling methods of Section 4
+  (systematic, stratified random, and simple random packet-driven
+  sampling; systematic and stratified timer-driven sampling);
+* :mod:`repro.core.metrics` — the disparity metrics of Section 5.2
+  (chi-square and its significance level, the l1 *cost* and *relative
+  cost*, Paxson's X² and k, and the phi coefficient);
+* :mod:`repro.core.evaluation` — characterization targets, sample
+  scoring, and the parameter-sweep experiment harness of Section 7;
+* :mod:`repro.core.samplesize` — Cochran's closed-form sample sizes
+  for estimating a mean (Section 5.1).
+"""
+
+from repro.core.sampling import (
+    SamplingResult,
+    Sampler,
+    SimpleRandomSampler,
+    StratifiedRandomSampler,
+    SystematicSampler,
+    TimerStratifiedSampler,
+    TimerSystematicSampler,
+    make_sampler,
+    paper_methods,
+)
+from repro.core.metrics import (
+    BinSpec,
+    DisparityScores,
+    INTERARRIVAL_BINS_US,
+    PACKET_SIZE_BINS,
+    chi_square,
+    cost,
+    evaluate_all,
+    phi_coefficient,
+    relative_cost,
+    x_square,
+)
+from repro.core.evaluation import (
+    CharacterizationTarget,
+    ExperimentGrid,
+    ExperimentResult,
+    INTERARRIVAL_TARGET,
+    PACKET_SIZE_TARGET,
+    SampleScore,
+    score_sample,
+)
+from repro.core.samplesize import plan_for_population, required_sample_size
+from repro.core.efficiency import EFFICIENCY_METHODS, compare_efficiency
+
+__all__ = [
+    "SamplingResult",
+    "Sampler",
+    "SimpleRandomSampler",
+    "StratifiedRandomSampler",
+    "SystematicSampler",
+    "TimerStratifiedSampler",
+    "TimerSystematicSampler",
+    "make_sampler",
+    "paper_methods",
+    "BinSpec",
+    "DisparityScores",
+    "INTERARRIVAL_BINS_US",
+    "PACKET_SIZE_BINS",
+    "chi_square",
+    "cost",
+    "evaluate_all",
+    "phi_coefficient",
+    "relative_cost",
+    "x_square",
+    "CharacterizationTarget",
+    "ExperimentGrid",
+    "ExperimentResult",
+    "INTERARRIVAL_TARGET",
+    "PACKET_SIZE_TARGET",
+    "SampleScore",
+    "score_sample",
+    "required_sample_size",
+    "plan_for_population",
+    "EFFICIENCY_METHODS",
+    "compare_efficiency",
+]

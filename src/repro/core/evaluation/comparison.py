@@ -1,0 +1,90 @@
+"""Scoring one sample against its parent population.
+
+Implements the paper's evaluation step: bin the sampled attribute
+values, bin the full population, and compute the disparity metrics of
+Section 5.2.  The population's actual bin proportions are used as the
+expected distribution — "because we have access to the actual
+parameters of this parent population, we use them rather than
+estimates of them" (Section 4).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.evaluation.targets import CharacterizationTarget
+from repro.core.metrics.registry import DisparityScores, evaluate_all
+from repro.core.sampling.base import SamplingResult
+from repro.trace.trace import Trace
+
+
+def population_proportions(
+    trace: Trace, target: CharacterizationTarget
+) -> np.ndarray:
+    """The parent population's bin proportions for a target.
+
+    Sweeps should compute this once per (trace, target) pair and pass
+    it to :func:`score_sample`; it is the only O(population) step in
+    scoring.
+    """
+    return target.bins.proportions(target.population_values(trace))
+
+
+@dataclass(frozen=True)
+class SampleScore:
+    """A scored sample: where it came from and how it did."""
+
+    target: str
+    method: str
+    parameters: Dict[str, float]
+    sample_size: int
+    fraction: float
+    observed: np.ndarray
+    scores: DisparityScores
+
+    @property
+    def phi(self) -> float:
+        """Shortcut to the paper's headline metric."""
+        return self.scores.phi
+
+
+def score_sample(
+    trace: Trace,
+    result: SamplingResult,
+    target: CharacterizationTarget,
+    proportions: Optional[np.ndarray] = None,
+    attribute_values: Optional[np.ndarray] = None,
+) -> SampleScore:
+    """Score a sampling result on one characterization target.
+
+    Parameters
+    ----------
+    trace:
+        The parent population the sample was drawn from.
+    result:
+        The sampler's output (sorted parent indices).
+    target:
+        What to assess (sizes, interarrivals, ...).
+    proportions:
+        Optional precomputed population bin proportions; computed from
+        the trace when omitted.
+    attribute_values:
+        Optional precomputed per-packet attribute array
+        (:meth:`CharacterizationTarget.attribute_values`); sweeps that
+        score many samples should precompute it once.
+    """
+    if proportions is None:
+        proportions = population_proportions(trace, target)
+    values = target.sample_values(trace, result.indices, values=attribute_values)
+    observed = target.bins.counts(values)
+    scores = evaluate_all(observed, proportions, fraction=result.fraction)
+    return SampleScore(
+        target=target.name,
+        method=result.method,
+        parameters=dict(result.parameters),
+        sample_size=int(observed.sum()),
+        fraction=result.fraction,
+        observed=observed,
+        scores=scores,
+    )

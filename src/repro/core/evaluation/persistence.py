@@ -1,0 +1,125 @@
+"""Saving and reloading experiment results.
+
+Long sweeps on big traces are worth keeping: this module round-trips an
+:class:`~repro.core.evaluation.experiment.ExperimentResult` through a
+plain CSV file — one row per scored sample, with every disparity metric
+— so results can be archived, diffed across code versions, or loaded
+into other tooling.
+
+The format is deliberately boring: a fixed header, stdlib ``csv``, no
+pickle.  Bin counts are serialized as a ``;``-separated list.
+"""
+
+import csv
+from typing import List
+
+import numpy as np
+
+from repro.core.evaluation.comparison import SampleScore
+from repro.core.evaluation.experiment import ExperimentRecord, ExperimentResult
+from repro.core.metrics.registry import DisparityScores
+
+#: Column order of the CSV schema, version-stamped by the header itself.
+CSV_FIELDS = (
+    "target",
+    "method",
+    "granularity",
+    "interval_us",
+    "replication",
+    "sample_size",
+    "fraction",
+    "chi2",
+    "significance",
+    "cost",
+    "rcost",
+    "x2",
+    "k",
+    "phi",
+    "observed",
+)
+
+
+def save_result(result: ExperimentResult, path: str) -> None:
+    """Write every record of a sweep to ``path`` as CSV."""
+    with open(path, "w", newline="") as stream:
+        writer = csv.DictWriter(stream, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for record in result.records:
+            score = record.score
+            writer.writerow(
+                {
+                    "target": record.target,
+                    "method": record.method,
+                    "granularity": record.granularity,
+                    "interval_us": (
+                        "" if record.interval_us is None else record.interval_us
+                    ),
+                    "replication": record.replication,
+                    "sample_size": score.sample_size,
+                    "fraction": repr(score.fraction),
+                    "chi2": repr(score.scores.chi2),
+                    "significance": repr(score.scores.significance),
+                    "cost": repr(score.scores.cost),
+                    "rcost": repr(score.scores.rcost),
+                    "x2": repr(score.scores.x2),
+                    "k": repr(score.scores.k),
+                    "phi": repr(score.scores.phi),
+                    "observed": ";".join(str(int(c)) for c in score.observed),
+                }
+            )
+
+
+def load_result(path: str) -> ExperimentResult:
+    """Reload a sweep saved by :func:`save_result`.
+
+    The reloaded records carry everything the aggregation helpers
+    (filtering, mean-phi series, boxplots) need; sampler parameters,
+    which are not serialized, come back empty.
+    """
+    records: List[ExperimentRecord] = []
+    with open(path, newline="") as stream:
+        reader = csv.DictReader(stream)
+        missing = set(CSV_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(
+                "%s is not an experiment CSV (missing columns: %s)"
+                % (path, sorted(missing))
+            )
+        for row in reader:
+            observed = np.array(
+                [int(c) for c in row["observed"].split(";") if c],
+                dtype=np.int64,
+            )
+            scores = DisparityScores(
+                chi2=float(row["chi2"]),
+                significance=float(row["significance"]),
+                cost=float(row["cost"]),
+                rcost=float(row["rcost"]),
+                x2=float(row["x2"]),
+                k=float(row["k"]),
+                phi=float(row["phi"]),
+                sample_size=int(row["sample_size"]),
+                fraction=float(row["fraction"]),
+            )
+            score = SampleScore(
+                target=row["target"],
+                method=row["method"],
+                parameters={},
+                sample_size=int(row["sample_size"]),
+                fraction=float(row["fraction"]),
+                observed=observed,
+                scores=scores,
+            )
+            records.append(
+                ExperimentRecord(
+                    target=row["target"],
+                    method=row["method"],
+                    granularity=int(row["granularity"]),
+                    interval_us=(
+                        None if row["interval_us"] == "" else int(row["interval_us"])
+                    ),
+                    replication=int(row["replication"]),
+                    score=score,
+                )
+            )
+    return ExperimentResult(records=tuple(records))

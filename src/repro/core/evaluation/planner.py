@@ -1,0 +1,133 @@
+"""Sampling-configuration recommendation from sweep results.
+
+Section 6 frames the operator's decision: "When a network operator
+selects a sampling method, with an associated sampling fraction and
+interval, he buys a certain range of phi-values which will characterize
+his samples."  :func:`recommend_configuration` turns a completed
+method x granularity sweep plus a phi budget into that purchase: per
+method, the coarsest granularity whose *worst-target* mean phi stays
+within budget, and overall, the cheapest qualifying configuration.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.evaluation.experiment import ExperimentResult
+
+
+@dataclass(frozen=True)
+class MethodPlan:
+    """One method's cheapest within-budget configuration."""
+
+    method: str
+    granularity: Optional[int]
+    worst_phi: Optional[float]
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any granularity met the budget for this method."""
+        return self.granularity is not None
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A full plan: per-method options and the overall pick."""
+
+    phi_budget: float
+    targets: Tuple[str, ...]
+    methods: Dict[str, MethodPlan]
+    best: Optional[MethodPlan]
+
+    def summary(self) -> str:
+        """Human-readable plan description."""
+        lines = [
+            "phi budget %.4f over targets %s"
+            % (self.phi_budget, ", ".join(self.targets))
+        ]
+        for plan in self.methods.values():
+            if plan.feasible:
+                lines.append(
+                    "  %-18s -> 1 in %-6d (worst mean phi %.4f)"
+                    % (plan.method, plan.granularity, plan.worst_phi)
+                )
+            else:
+                lines.append("  %-18s -> no granularity within budget" % plan.method)
+        if self.best is not None:
+            lines.append(
+                "cheapest: %s at 1 in %d" % (self.best.method, self.best.granularity)
+            )
+        else:
+            lines.append("no configuration meets the budget")
+        return "\n".join(lines)
+
+
+def worst_target_phi(
+    result: ExperimentResult,
+    method: str,
+    granularity: int,
+    targets: Sequence[str],
+) -> float:
+    """The larger of the targets' mean phi for one sweep cell."""
+    return max(
+        result.filter(
+            target=target, method=method, granularity=granularity
+        ).mean_phi()
+        for target in targets
+    )
+
+
+def recommend_configuration(
+    result: ExperimentResult,
+    phi_budget: float,
+    targets: Optional[Sequence[str]] = None,
+) -> Recommendation:
+    """Pick sampling configurations within a phi budget.
+
+    Parameters
+    ----------
+    result:
+        A completed sweep (all methods/granularities/targets of
+        interest must be present in its records).
+    phi_budget:
+        Largest acceptable mean phi on *any* target.
+    targets:
+        Target names to enforce the budget on; defaults to every
+        target present in the sweep.
+    """
+    if phi_budget <= 0:
+        raise ValueError("phi budget must be positive, got %r" % (phi_budget,))
+    if not result.records:
+        raise ValueError("the sweep has no records")
+    present_targets = tuple(sorted({r.target for r in result.records}))
+    enforced = tuple(targets) if targets is not None else present_targets
+    unknown = set(enforced) - set(present_targets)
+    if unknown:
+        raise ValueError("targets not in the sweep: %s" % sorted(unknown))
+
+    methods = tuple(
+        dict.fromkeys(r.method for r in result.records)
+    )  # preserve sweep order
+    plans: Dict[str, MethodPlan] = {}
+    best: Optional[MethodPlan] = None
+    for method in methods:
+        granularities = sorted(
+            {r.granularity for r in result.records if r.method == method}
+        )
+        feasible = []
+        for granularity in granularities:
+            worst = worst_target_phi(result, method, granularity, enforced)
+            if worst <= phi_budget:
+                feasible.append((granularity, worst))
+        if feasible:
+            granularity, worst = max(feasible)
+            plan = MethodPlan(
+                method=method, granularity=granularity, worst_phi=worst
+            )
+            if best is None or plan.granularity > best.granularity:
+                best = plan
+        else:
+            plan = MethodPlan(method=method, granularity=None, worst_phi=None)
+        plans[method] = plan
+    return Recommendation(
+        phi_budget=phi_budget, targets=enforced, methods=plans, best=best
+    )

@@ -1,0 +1,111 @@
+"""Text rendering of the paper's tables and figure series.
+
+The benchmark harness regenerates every table and figure of the paper
+as plain-text rows/series; these helpers keep that formatting in one
+place.
+"""
+
+from typing import Mapping, Optional, Sequence
+
+from repro.stats.boxplot import BoxplotStats
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    columns: Mapping[str, Mapping[int, float]],
+    value_format: str = "%.4f",
+) -> str:
+    """Render named series sharing an integer x-axis.
+
+    ``columns`` maps series name to {x: value}; the union of x values
+    forms the rows, with missing cells left blank.
+    """
+    xs = sorted({x for series in columns.values() for x in series})
+    names = list(columns)
+    header = "%-12s " % x_label + " ".join("%14s" % n for n in names)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for x in xs:
+        cells = []
+        for name in names:
+            value = columns[name].get(x)
+            cells.append(
+                "%14s" % ("" if value is None else value_format % value)
+            )
+        lines.append("%-12d " % x + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_boxplots(
+    title: str,
+    boxes: Mapping[str, BoxplotStats],
+    width: int = 60,
+) -> str:
+    """Render labeled boxplots as ASCII, Figure 6 style.
+
+    Each row draws whiskers (``|---``), the interquartile box
+    (``[====]``), and the median (``:``) on a shared linear scale from
+    0 to the largest whisker/outlier.  Meant for benchmark output,
+    where the shape of "phi grows and its spread grows" should be
+    visible without a plotting stack.
+    """
+    if width < 20:
+        raise ValueError("need at least 20 columns")
+    if not boxes:
+        raise ValueError("no boxplots to render")
+    high = max(
+        max(b.whisker_high, *(b.outliers or (b.whisker_high,)))
+        for b in boxes.values()
+    )
+    if high <= 0:
+        high = 1.0
+
+    def column(value: float) -> int:
+        return min(int(round(value / high * (width - 1))), width - 1)
+
+    label_width = max(len(label) for label in boxes)
+    lines = [title, "%s 0%s%.4g" % (" " * label_width, " " * (width - 6), high)]
+    for label, box in boxes.items():
+        row = [" "] * width
+        for position in range(column(box.whisker_low), column(box.whisker_high) + 1):
+            row[position] = "-"
+        for position in range(column(box.q1), column(box.q3) + 1):
+            row[position] = "="
+        row[column(box.whisker_low)] = "|"
+        row[column(box.whisker_high)] = "|"
+        row[column(box.q1)] = "["
+        row[column(box.q3)] = "]"
+        row[column(box.median)] = ":"
+        for outlier in box.outliers:
+            row[column(outlier)] = "o"
+        lines.append("%-*s %s" % (label_width, label, "".join(row)))
+    return "\n".join(lines)
+
+
+def format_histogram_table(
+    title: str,
+    labels: Sequence[str],
+    rows: Mapping[str, Sequence[float]],
+    phi_scores: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render binned proportions per sample, Figure 4/5 style.
+
+    ``rows`` maps a row label (e.g. ``"1/1024"``) to per-bin
+    proportions; ``phi_scores`` optionally appends each row's phi, as
+    in Figure 5's legend.
+    """
+    header = "%-12s " % "sample" + " ".join("%12s" % b for b in labels)
+    if phi_scores is not None:
+        header += " %10s" % "phi"
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for name, proportions in rows.items():
+        if len(proportions) != len(labels):
+            raise ValueError(
+                "row %r has %d cells for %d bins"
+                % (name, len(proportions), len(labels))
+            )
+        line = "%-12s " % name + " ".join("%12.4f" % p for p in proportions)
+        if phi_scores is not None:
+            line += " %10.4f" % phi_scores.get(name, float("nan"))
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Paxson's sample-size-invariant chi-square variant.
+
+Section 5.2 cites Paxson (1992) for ``X2 = sum (O_i - E_i)^2 / E_i^2``,
+which remains invariant with increasing sample size, and the derived
+"average normalized deviation" across bins, ``k = sqrt(X2 / B)``.
+"""
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.metrics.chisquare import expected_counts
+
+
+def x_square(
+    observed: Sequence[float], population_proportions: Sequence[float]
+) -> float:
+    """X2 = sum (O_i - E_i)^2 / E_i^2 with E at sample scale."""
+    obs = np.asarray(observed, dtype=np.float64)
+    expected = expected_counts(population_proportions, int(obs.sum()))
+    if obs.shape != expected.shape:
+        raise ValueError(
+            "observed has %d bins, proportions %d" % (obs.size, expected.size)
+        )
+    empty = expected == 0
+    if np.any(obs[empty] > 0):
+        raise ValueError(
+            "observed counts in bins with zero population proportion"
+        )
+    safe = ~empty
+    return float((((obs[safe] - expected[safe]) / expected[safe]) ** 2).sum())
+
+
+def normalized_deviation(
+    observed: Sequence[float], population_proportions: Sequence[float]
+) -> float:
+    """k = sqrt(X2 / B): average normalized deviation across bins."""
+    props = np.asarray(population_proportions, dtype=np.float64)
+    n_bins = int((props > 0).sum())
+    if n_bins == 0:
+        raise ValueError("need at least one non-empty bin")
+    return math.sqrt(x_square(observed, population_proportions) / n_bins)

@@ -1,0 +1,38 @@
+"""The phi coefficient — the paper's chosen disparity metric.
+
+Fleiss's phi is derived from chi-square as ``phi = sqrt(chi2 / n)``
+with ``n = sum_i (E_i + O_i)`` (Section 5.2's definition, which makes
+n twice the sample size when expected counts are taken at sample
+scale).  Unlike chi-square itself, phi is free of the influence of the
+sample size, which is what lets the paper compare samples at sampling
+fractions spanning four orders of magnitude.
+
+A phi of 0 is "consistent with a sample which perfectly reflects the
+parent population"; larger values correspond to poorer samples
+(Section 6).
+"""
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.metrics.chisquare import chi_square, expected_counts
+
+
+def phi_coefficient(
+    observed: Sequence[float], population_proportions: Sequence[float]
+) -> float:
+    """phi = sqrt(chi2 / n), n = sum(E_i + O_i).
+
+    Returns 0 for an empty sample by convention (an empty sample has
+    no measurable disparity — and no information).
+    """
+    obs = np.asarray(observed, dtype=np.float64)
+    sample_size = int(obs.sum())
+    if sample_size == 0:
+        return 0.0
+    statistic = chi_square(obs, population_proportions)
+    expected = expected_counts(population_proportions, sample_size)
+    n = float(expected.sum() + obs.sum())
+    return math.sqrt(statistic / n)

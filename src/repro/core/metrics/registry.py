@@ -1,0 +1,106 @@
+"""Evaluate every disparity metric at once.
+
+Figure 3 of the paper plots all the Section 5.2 metrics side by side
+as a function of sampling granularity.  :func:`evaluate_all` computes
+them from one (observed counts, population proportions) pair, and
+:class:`DisparityScores` carries the named results.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.metrics.chisquare import chi_square, chi_square_significance
+from repro.core.metrics.cost import cost, relative_cost
+from repro.core.metrics.paxson import normalized_deviation, x_square
+from repro.core.metrics.phi import phi_coefficient
+
+#: Metric identifiers, in Figure 3's legend order.
+METRIC_NAMES = (
+    "chi2",
+    "one_minus_significance",
+    "cost",
+    "rcost",
+    "x2",
+    "k",
+    "phi",
+)
+
+
+@dataclass(frozen=True)
+class DisparityScores:
+    """All disparity metrics for one sample against one population."""
+
+    chi2: float
+    significance: float
+    cost: float
+    rcost: float
+    x2: float
+    k: float
+    phi: float
+    sample_size: int
+    fraction: float
+
+    @property
+    def one_minus_significance(self) -> float:
+        """Figure 3 plots 1 - significance "for ease of comparison"."""
+        return 1.0 - self.significance
+
+    def as_dict(self) -> Dict[str, float]:
+        """Scores keyed by :data:`METRIC_NAMES`."""
+        return {
+            "chi2": self.chi2,
+            "one_minus_significance": self.one_minus_significance,
+            "cost": self.cost,
+            "rcost": self.rcost,
+            "x2": self.x2,
+            "k": self.k,
+            "phi": self.phi,
+        }
+
+
+def evaluate_all(
+    observed: Sequence[float],
+    population_proportions: Sequence[float],
+    fraction: float,
+) -> DisparityScores:
+    """Compute every Section 5.2 metric for one sample.
+
+    Parameters
+    ----------
+    observed:
+        The sample's bin counts.
+    population_proportions:
+        The parent population's bin proportions (actual, not
+        estimated: the parent is fully known in this methodology).
+    fraction:
+        Achieved sampling fraction, needed by relative cost.
+    """
+    obs = np.asarray(observed, dtype=np.float64)
+    sample_size = int(obs.sum())
+    if sample_size == 0:
+        # An empty sample carries no disparity (and no information);
+        # every metric is zero by convention and nothing is rejectable.
+        return DisparityScores(
+            chi2=0.0,
+            significance=1.0,
+            cost=0.0,
+            rcost=0.0,
+            x2=0.0,
+            k=0.0,
+            phi=0.0,
+            sample_size=0,
+            fraction=fraction,
+        )
+    return DisparityScores(
+        chi2=chi_square(obs, population_proportions),
+        significance=chi_square_significance(obs, population_proportions),
+        cost=cost(obs, population_proportions),
+        rcost=relative_cost(obs, population_proportions, fraction),
+        x2=x_square(obs, population_proportions),
+        k=normalized_deviation(obs, population_proportions),
+        phi=phi_coefficient(obs, population_proportions),
+        sample_size=sample_size,
+        fraction=fraction,
+    )

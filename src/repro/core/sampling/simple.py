@@ -1,0 +1,43 @@
+"""Simple random sampling.
+
+"Simple random sampling uniformly selects n packets from the total
+population at random" (Section 4) — sampling without replacement, with
+no structure over time or packet count.
+
+The sampler is parameterized by granularity k for symmetry with the
+other methods: it draws ``ceil(N / k)`` packets, matching the sample
+size systematic sampling at the same granularity would achieve.
+"""
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.sampling.base import Sampler, require_rng
+from repro.trace.trace import Trace
+
+
+class SimpleRandomSampler(Sampler):
+    """Select ``ceil(N / granularity)`` packets uniformly, no replacement."""
+
+    name = "random"
+
+    def __init__(self, granularity: int) -> None:
+        if granularity < 1:
+            raise ValueError("granularity must be >= 1, got %d" % granularity)
+        self.granularity = granularity
+
+    def sample_indices(
+        self, trace: Trace, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        rng = require_rng(rng)
+        n = len(trace)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        size = math.ceil(n / self.granularity)
+        chosen = rng.choice(n, size=size, replace=False)
+        return np.sort(chosen).astype(np.int64)
+
+    def parameters(self) -> Dict[str, float]:
+        return {"granularity": float(self.granularity)}

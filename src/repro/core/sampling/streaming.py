@@ -1,0 +1,184 @@
+"""Streaming (per-packet, stateful) sampler implementations.
+
+The batch samplers in this package select from a stored trace; a
+monitor in the forwarding path decides *per packet, online* — the ARTS
+firmware sees one packet at a time and must say keep/skip immediately,
+with O(1) state.  This module provides streaming counterparts:
+
+* :class:`StreamingSystematic` — counter-based every-k-th selection;
+* :class:`StreamingStratified` — one random pick per k-packet bucket,
+  chosen by index drawn at bucket start (still one comparison per
+  packet);
+* :class:`StreamingTimerSystematic` — periodic timer, next-arrival
+  rule;
+* :class:`StreamingReservoir` — Vitter's reservoir algorithm, the
+  streaming analogue of simple random sampling (exact n-of-N without
+  knowing N in advance).
+
+Each streaming sampler is tested for *exact* equivalence with its
+batch counterpart given the same randomness (reservoir sampling, which
+has no batch analogue with matching draws, is tested for uniformity
+instead).
+"""
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.sampling.base import require_rng
+
+
+class StreamingSampler:
+    """Interface: one keep/skip decision per offered packet."""
+
+    def offer(self, timestamp_us: int) -> bool:
+        """Decide whether the packet arriving now enters the sample."""
+        raise NotImplementedError
+
+    def offer_all(self, timestamps_us: Iterable[int]) -> np.ndarray:
+        """Offer a whole arrival sequence; return selected positions."""
+        selected = [
+            position
+            for position, timestamp in enumerate(timestamps_us)
+            if self.offer(int(timestamp))
+        ]
+        return np.asarray(selected, dtype=np.int64)
+
+
+class StreamingSystematic(StreamingSampler):
+    """Counter-based every-k-th selection with a phase offset.
+
+    Equivalent to :class:`~repro.core.sampling.SystematicSampler`:
+    selects packets at positions ``phase, phase + k, ...`` of the
+    offered stream.  This is exactly the T3 firmware's mechanism.
+    """
+
+    def __init__(self, granularity: int, phase: int = 0) -> None:
+        if granularity < 1:
+            raise ValueError("granularity must be >= 1, got %d" % granularity)
+        if not 0 <= phase < granularity:
+            raise ValueError(
+                "phase must be in [0, %d), got %d" % (granularity, phase)
+            )
+        self.granularity = granularity
+        self._countdown = phase
+
+    def offer(self, timestamp_us: int) -> bool:
+        keep = self._countdown == 0
+        if keep:
+            self._countdown = self.granularity - 1
+        else:
+            self._countdown -= 1
+        return keep
+
+
+class StreamingStratified(StreamingSampler):
+    """One uniformly random packet per k-packet bucket, online.
+
+    At each bucket start the kept offset is drawn; subsequent offers
+    compare a counter against it.  State is two integers, and the
+    selection distribution matches
+    :class:`~repro.core.sampling.StratifiedRandomSampler` exactly —
+    including the partial final bucket, where the monitor cannot know
+    the bucket will be short.  The strategy for that case mirrors the
+    batch sampler via rejection-free re-draw: if the bucket ends early
+    (stream stops), the pick may simply not have happened, which for a
+    monitor is the honest behaviour.
+    """
+
+    def __init__(
+        self, granularity: int, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        if granularity < 1:
+            raise ValueError("granularity must be >= 1, got %d" % granularity)
+        self.granularity = granularity
+        self._rng = require_rng(rng)
+        self._position = 0
+        self._keep_offset = int(self._rng.integers(0, granularity))
+
+    def offer(self, timestamp_us: int) -> bool:
+        keep = self._position == self._keep_offset
+        self._position += 1
+        if self._position == self.granularity:
+            self._position = 0
+            self._keep_offset = int(self._rng.integers(0, self.granularity))
+        return keep
+
+
+class StreamingTimerSystematic(StreamingSampler):
+    """Periodic timer with the paper's next-arrival rule, online.
+
+    The timer arms at the first packet's arrival; whenever a packet
+    arrives with the timer expired, it is kept and the timer re-arms
+    at the *scheduled* expiry (not the selection time), so firing times
+    stay on the strict grid — matching
+    :class:`~repro.core.sampling.TimerSystematicSampler` exactly,
+    including the deduplication of multiple expiries inside one gap.
+    """
+
+    def __init__(self, period_us: float, phase_us: float = 0.0) -> None:
+        if period_us <= 0:
+            raise ValueError("timer period must be positive")
+        if not 0.0 <= phase_us < period_us:
+            raise ValueError("phase must be in [0, period)")
+        self.period_us = float(period_us)
+        self.phase_us = float(phase_us)
+        self._next_firing: Optional[float] = None
+
+    def offer(self, timestamp_us: int) -> bool:
+        if self._next_firing is None:
+            self._next_firing = timestamp_us + self.phase_us
+        if timestamp_us < self._next_firing:
+            return False
+        # Skip every firing that has already passed: they all select
+        # this packet (the next to arrive), collapsed into one keep.
+        periods_behind = (timestamp_us - self._next_firing) // self.period_us
+        self._next_firing += (periods_behind + 1) * self.period_us
+        return True
+
+
+class StreamingReservoir:
+    """Vitter's algorithm R: a uniform n-of-N sample from a stream.
+
+    Unlike the other streaming samplers this one revises its past
+    choices (a reservoir slot may be overwritten), so its interface
+    returns the final selected positions instead of per-packet
+    decisions.  It is the online analogue of simple random sampling:
+    after offering N packets, every n-subset is equally likely.
+    """
+
+    def __init__(
+        self, capacity: int, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = require_rng(rng)
+        self._positions: List[int] = []
+        self._seen = 0
+
+    def offer(self, timestamp_us: int) -> None:
+        """Offer the next packet (timestamp unused; kept for symmetry)."""
+        position = self._seen
+        self._seen += 1
+        if len(self._positions) < self.capacity:
+            self._positions.append(position)
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.capacity:
+            self._positions[slot] = position
+
+    def offer_all(self, timestamps_us: Iterable[int]) -> np.ndarray:
+        """Offer a whole sequence; return the final sorted positions."""
+        for timestamp in timestamps_us:
+            self.offer(int(timestamp))
+        return self.positions()
+
+    def positions(self) -> np.ndarray:
+        """The currently held sample, as sorted stream positions."""
+        return np.sort(np.asarray(self._positions, dtype=np.int64))
+
+    @property
+    def seen(self) -> int:
+        """Packets offered so far."""
+        return self._seen

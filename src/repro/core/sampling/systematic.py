@@ -1,0 +1,51 @@
+"""Systematic (every k-th packet) sampling.
+
+The method deployed operationally on the T1 and T3 NSFNET backbones:
+"deterministically selecting every kth element (packet) of the data
+set" (Section 4), with the production setting k = 50.
+
+The *phase* — which packet of the first bucket starts the pattern —
+is the only free choice.  The paper exploits it to manufacture
+replications: "to achieve a wider range of replications for systematic
+samples, we varied the point within the data set at which to begin the
+sampling procedure" (Section 7.2).
+"""
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.sampling.base import Sampler
+from repro.trace.trace import Trace
+
+
+class SystematicSampler(Sampler):
+    """Select packets ``phase, phase + k, phase + 2k, ...``.
+
+    Parameters
+    ----------
+    granularity:
+        The bucket size k (reciprocal of the sampling fraction 1/k).
+    phase:
+        Offset of the first selected packet, in ``[0, k)``.
+    """
+
+    name = "systematic"
+
+    def __init__(self, granularity: int, phase: int = 0) -> None:
+        if granularity < 1:
+            raise ValueError("granularity must be >= 1, got %d" % granularity)
+        if not 0 <= phase < granularity:
+            raise ValueError(
+                "phase must be in [0, %d), got %d" % (granularity, phase)
+            )
+        self.granularity = granularity
+        self.phase = phase
+
+    def sample_indices(
+        self, trace: Trace, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        return np.arange(self.phase, len(trace), self.granularity, dtype=np.int64)
+
+    def parameters(self) -> Dict[str, float]:
+        return {"granularity": float(self.granularity), "phase": float(self.phase)}

@@ -1,0 +1,168 @@
+"""Bounded-memory heavy-hitter tracking (Misra-Gries).
+
+Section 8 identifies the source-destination matrix as the hard object:
+"mainly because of its large size and because many traffic pairs
+generate small amounts of traffic".  A collector cannot afford a
+counter per pair — the T1 processors were losing packets precisely
+because their object updates were too expensive — but operators mostly
+want the *heavy* pairs anyway.
+
+:class:`MisraGries` is the classic deterministic summary: with k
+counters over a stream of n items, every item whose true count exceeds
+n / (k + 1) is guaranteed present, and each reported count
+undercounts by at most n / (k + 1).  :class:`TopNMatrix` wraps it as a
+drop-in Table 1-style statistical object tracking (src, dst) pairs in
+bounded memory.
+"""
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.netmon.objects import StatisticalObject
+from repro.trace.trace import Trace
+
+
+class MisraGries:
+    """The Misra-Gries frequent-items summary.
+
+    Parameters
+    ----------
+    capacity:
+        Number of counters k.  Error bound: each estimate undercounts
+        its item's true frequency by at most ``stream_length / (k+1)``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._counters: Dict[Hashable, int] = {}
+        self.stream_length = 0
+
+    def update(self, item: Hashable, weight: int = 1) -> None:
+        """Offer one item (optionally with an integer weight)."""
+        if weight < 1:
+            raise ValueError("weight must be a positive integer")
+        self.stream_length += weight
+        counters = self._counters
+        if item in counters:
+            counters[item] += weight
+            return
+        if len(counters) < self.capacity:
+            counters[item] = weight
+            return
+        # Decrement-all step, weight times at once: reduce every
+        # counter by the largest amount that keeps them non-negative,
+        # bounded by the new item's weight.
+        decrement = min(weight, min(counters.values()))
+        remaining = weight - decrement
+        for key in list(counters):
+            counters[key] -= decrement
+            if counters[key] == 0:
+                del counters[key]
+        if remaining and len(counters) < self.capacity:
+            counters[item] = remaining
+
+    def update_many(self, items: Iterable[Hashable]) -> None:
+        """Offer a sequence of unit-weight items."""
+        for item in items:
+            self.update(item)
+
+    def estimate(self, item: Hashable) -> int:
+        """Lower-bound estimate of the item's count (0 if untracked)."""
+        return self._counters.get(item, 0)
+
+    @property
+    def error_bound(self) -> float:
+        """Maximum undercount of any estimate."""
+        return self.stream_length / (self.capacity + 1)
+
+    def candidates(self) -> Dict[Hashable, int]:
+        """All tracked items with their (lower-bound) counts."""
+        return dict(self._counters)
+
+    def heavy_hitters(self, threshold_fraction: float) -> Dict[Hashable, int]:
+        """Items guaranteed-candidate for frequency above the threshold.
+
+        Every item with true frequency > ``threshold_fraction`` of the
+        stream is in the result (no false negatives) provided
+        ``threshold_fraction >= 1 / (capacity + 1)``; false positives
+        are possible and carry their lower-bound counts.
+        """
+        if not 0.0 < threshold_fraction < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        cutoff = threshold_fraction * self.stream_length - self.error_bound
+        return {
+            item: count
+            for item, count in self._counters.items()
+            if count > max(cutoff, 0.0)
+        }
+
+    def merge(self, other: "MisraGries") -> "MisraGries":
+        """Combine two summaries (the standard add-then-shrink merge).
+
+        The merged summary keeps the Misra-Gries guarantee for the
+        concatenated stream, enabling per-subsystem summaries to be
+        combined at the node processor.
+        """
+        merged = MisraGries(self.capacity)
+        merged.stream_length = self.stream_length + other.stream_length
+        combined: Dict[Hashable, int] = dict(self._counters)
+        for item, count in other._counters.items():
+            combined[item] = combined.get(item, 0) + count
+        if len(combined) > self.capacity:
+            # Keep the top k, subtracting the (k+1)-th largest count.
+            ordered = sorted(combined.items(), key=lambda kv: -kv[1])
+            cut = ordered[self.capacity][1]
+            combined = {
+                item: count - cut
+                for item, count in ordered[: self.capacity]
+                if count - cut > 0
+            }
+        merged._counters = combined
+        return merged
+
+
+class TopNMatrix(StatisticalObject):
+    """A bounded-memory source-destination matrix object.
+
+    Tracks packet counts per (src_net, dst_net) pair with
+    :class:`MisraGries` instead of one counter per pair, making the
+    per-packet cost and the memory footprint independent of how many
+    pairs the traffic contains.
+    """
+
+    name = "topn-matrix"
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._summary = MisraGries(capacity)
+
+    def observe(self, batch: Trace) -> None:
+        if not len(batch):
+            return
+        keys = (
+            batch.src_nets.astype(np.int64) << 16
+        ) | batch.dst_nets.astype(np.int64)
+        unique, counts = np.unique(keys, return_counts=True)
+        for key, count in zip(unique, counts):
+            self._summary.update(
+                (int(key) >> 16, int(key) & 0xFFFF), weight=int(count)
+            )
+
+    def snapshot(self) -> Dict:
+        return {
+            "stream_length": self._summary.stream_length,
+            "error_bound": self._summary.error_bound,
+            "pairs": self._summary.candidates(),
+        }
+
+    def reset(self) -> None:
+        self._summary = MisraGries(self._summary.capacity)
+
+    def top_pairs(self, n: int = 10) -> List[Tuple[Tuple[int, int], int]]:
+        """The n largest tracked pairs by lower-bound count."""
+        ordered = sorted(
+            self._summary.candidates().items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ordered[:n]

@@ -1,0 +1,82 @@
+"""The NOC's central collection agent.
+
+"Every fifteen minutes, the central agent at the NOC running the
+collection software queries each of the backbone nodes, which report
+and then reset their object counters" (Section 2).
+:class:`CollectionAgent` drives a set of nodes through a trace in
+poll-cycle chunks and accumulates the per-cycle reports.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.netmon.node import BackboneNode
+from repro.trace.filters import time_window
+from repro.trace.trace import Trace
+
+#: The operational NOC polling period.
+POLL_PERIOD_S = 15 * 60
+
+
+@dataclass(frozen=True)
+class PollRecord:
+    """One node's report for one poll cycle."""
+
+    cycle: int
+    node: str
+    snapshot: Dict
+
+    @property
+    def snmp_packets(self) -> int:
+        """Forwarding-path packet count for the cycle."""
+        return self.snapshot["interface"]["packets"]
+
+
+class CollectionAgent:
+    """Polls nodes on a fixed cycle and stores their reports."""
+
+    def __init__(
+        self, nodes: List[BackboneNode], poll_period_s: int = POLL_PERIOD_S
+    ) -> None:
+        if not nodes:
+            raise ValueError("the agent needs at least one node")
+        if poll_period_s < 1:
+            raise ValueError("poll period must be at least a second")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise ValueError("node names must be unique: %r" % (names,))
+        self.nodes = list(nodes)
+        self.poll_period_s = poll_period_s
+        self.records: List[PollRecord] = []
+
+    def run(self, traffic: Dict[str, Trace]) -> List[PollRecord]:
+        """Drive each node through its traffic, polling on the cycle.
+
+        ``traffic`` maps node name to the trace entering that node.
+        All traces share a time origin; cycles are aligned wall-clock
+        windows of ``poll_period_s``.
+        """
+        unknown = set(traffic) - {n.name for n in self.nodes}
+        if unknown:
+            raise ValueError("traffic for unknown nodes: %s" % sorted(unknown))
+        horizon_us = max(
+            (int(t.timestamps_us[-1]) + 1 for t in traffic.values() if len(t)),
+            default=0,
+        )
+        n_cycles = -(-horizon_us // (self.poll_period_s * 1_000_000))
+        for cycle in range(int(n_cycles)):
+            start = cycle * self.poll_period_s * 1_000_000
+            stop = start + self.poll_period_s * 1_000_000
+            for node in self.nodes:
+                trace = traffic.get(node.name)
+                if trace is not None:
+                    node.process_trace(time_window(trace, start, stop))
+                self.records.append(
+                    PollRecord(cycle=cycle, node=node.name, snapshot=node.snapshot())
+                )
+                node.reset()
+        return self.records
+
+    def node_series(self, node: str) -> List[PollRecord]:
+        """All poll records of one node, in cycle order."""
+        return [r for r in self.records if r.node == node]

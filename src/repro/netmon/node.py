@@ -1,0 +1,63 @@
+"""A backbone node: interface counters plus a categorization collector.
+
+:class:`BackboneNode` feeds a trace through the node one second at a
+time: every packet increments the SNMP interface counters (forwarding
+path, lossless), and the same second's batch is offered to the
+attached collector (NNStat- or ARTS-style), which may lose packets to
+its capacity limits.  This is the machinery behind the Figure 1
+discrepancy experiment.
+"""
+
+from typing import Union
+
+import numpy as np
+
+from repro.netmon.arts import ArtsCollector
+from repro.netmon.nnstat import NNStatCollector
+from repro.netmon.snmp import InterfaceCounters
+from repro.trace.trace import Trace
+
+_US_PER_S = 1_000_000
+
+Collector = Union[NNStatCollector, ArtsCollector]
+
+
+class BackboneNode:
+    """One NSS/E-NSS node with an attached statistics collector."""
+
+    def __init__(self, name: str, collector: Collector) -> None:
+        self.name = name
+        self.collector = collector
+        self.interface = InterfaceCounters()
+
+    def process_trace(self, trace: Trace) -> None:
+        """Forward a trace through the node, second by second."""
+        if not len(trace):
+            return
+        rel = trace.timestamps_us - trace.timestamps_us[0]
+        seconds = rel // _US_PER_S
+        n_seconds = int(seconds[-1]) + 1
+        boundaries = np.searchsorted(
+            seconds, np.arange(n_seconds + 1), side="left"
+        )
+        for s in range(n_seconds):
+            batch = trace.slice_packets(int(boundaries[s]), int(boundaries[s + 1]))
+            self.process_second(batch)
+
+    def process_second(self, batch: Trace) -> None:
+        """Forward one second's packets: SNMP always, collector maybe."""
+        self.interface.forward(batch)
+        self.collector.process_second(batch)
+
+    def snapshot(self) -> dict:
+        """Interface counters and collector state."""
+        return {
+            "node": self.name,
+            "interface": self.interface.snapshot(),
+            "collector": self.collector.snapshot(),
+        }
+
+    def reset(self) -> None:
+        """Poll-cycle reset of interface counters and collector."""
+        self.interface.reset()
+        self.collector.reset()

@@ -1,0 +1,301 @@
+"""The statistical objects of the paper's Table 1.
+
+Each object accumulates one traffic-characterization aggregate from
+the packets it is shown.  Objects consume *batches* — column slices of
+a :class:`~repro.trace.Trace` — because the simulation feeds packets a
+second at a time, and report/reset on the NOC's fifteen-minute cycle.
+
+T1 objects (all seven rows of Table 1) and the T3 subset (first
+three) are provided by :func:`t1_object_set` and
+:func:`t3_object_set`.
+"""
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.trace.packet import IPPROTO_TCP, IPPROTO_UDP, PROTOCOL_NAMES
+from repro.trace.trace import Trace
+
+#: The well-known ports tracked by the port-distribution object
+#: ("TCP/UDP port distribution, well-known subset").
+WELL_KNOWN_PORTS = (20, 21, 23, 25, 53, 70, 79, 80, 110, 113, 119, 123, 161, 513, 514)
+
+
+class StatisticalObject:
+    """Interface of one Table 1 aggregate.
+
+    Subclasses implement :meth:`observe` (accumulate a packet batch),
+    :meth:`snapshot` (report current counters), and :meth:`reset`
+    (zero counters after a NOC poll).
+    """
+
+    name: str = "abstract"
+
+    def observe(self, batch: Trace) -> None:
+        """Accumulate one batch of packets."""
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict:
+        """Current counters as plain data."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Zero the counters (after a poll-and-reset cycle)."""
+        raise NotImplementedError
+
+
+class SourceDestMatrix(StatisticalObject):
+    """Source-destination traffic volume matrix by network number."""
+
+    name = "net-matrix"
+
+    def __init__(self) -> None:
+        self._packets: Counter = Counter()
+        self._bytes: Counter = Counter()
+
+    def observe(self, batch: Trace) -> None:
+        if not len(batch):
+            return
+        keys = (
+            batch.src_nets.astype(np.int64) << 16
+        ) | batch.dst_nets.astype(np.int64)
+        unique, inverse = np.unique(keys, return_inverse=True)
+        pkt_counts = np.bincount(inverse)
+        byte_counts = np.bincount(inverse, weights=batch.sizes.astype(np.float64))
+        for key, pkts, byts in zip(unique, pkt_counts, byte_counts):
+            pair = (int(key) >> 16, int(key) & 0xFFFF)
+            self._packets[pair] += int(pkts)
+            self._bytes[pair] += int(byts)
+
+    def snapshot(self) -> Dict:
+        return {
+            "packets": dict(self._packets),
+            "bytes": dict(self._bytes),
+        }
+
+    def reset(self) -> None:
+        self._packets.clear()
+        self._bytes.clear()
+
+    def total_packets(self) -> int:
+        """Sum over all pairs; the Figure 1 comparison quantity."""
+        return sum(self._packets.values())
+
+    def top_pairs(self, n: int = 10) -> List[Tuple[Tuple[int, int], int]]:
+        """The n busiest pairs by packet count."""
+        return self._packets.most_common(n)
+
+
+class PortDistribution(StatisticalObject):
+    """TCP/UDP port distribution over the well-known subset."""
+
+    name = "port-distribution"
+
+    def __init__(self, ports: Tuple[int, ...] = WELL_KNOWN_PORTS) -> None:
+        self.ports = tuple(sorted(ports))
+        self._packets: Counter = Counter()
+        self._bytes: Counter = Counter()
+
+    def observe(self, batch: Trace) -> None:
+        if not len(batch):
+            return
+        with_ports = np.isin(batch.protocols, (IPPROTO_TCP, IPPROTO_UDP))
+        # A packet is attributed to a well-known port if either end
+        # matches; the server side of a conversation carries it.
+        for port in self.ports:
+            mask = with_ports & (
+                (batch.src_ports == port) | (batch.dst_ports == port)
+            )
+            count = int(mask.sum())
+            if count:
+                self._packets[port] += count
+                self._bytes[port] += int(batch.sizes[mask].sum())
+
+    def snapshot(self) -> Dict:
+        return {
+            "packets": dict(self._packets),
+            "bytes": dict(self._bytes),
+        }
+
+    def reset(self) -> None:
+        self._packets.clear()
+        self._bytes.clear()
+
+    def proportions(self) -> Dict[int, float]:
+        """Packet share per tracked port (over tracked traffic)."""
+        total = sum(self._packets.values())
+        if total == 0:
+            return {}
+        return {p: c / total for p, c in sorted(self._packets.items())}
+
+
+class ProtocolDistribution(StatisticalObject):
+    """Distribution of protocol over IP (TCP, UDP, ICMP, other)."""
+
+    name = "protocol-distribution"
+
+    def __init__(self) -> None:
+        self._packets: Counter = Counter()
+        self._bytes: Counter = Counter()
+
+    def observe(self, batch: Trace) -> None:
+        if not len(batch):
+            return
+        unique, inverse = np.unique(batch.protocols, return_inverse=True)
+        pkt_counts = np.bincount(inverse)
+        byte_counts = np.bincount(inverse, weights=batch.sizes.astype(np.float64))
+        for proto, pkts, byts in zip(unique, pkt_counts, byte_counts):
+            name = PROTOCOL_NAMES.get(int(proto), "IP-%d" % proto)
+            self._packets[name] += int(pkts)
+            self._bytes[name] += int(byts)
+
+    def snapshot(self) -> Dict:
+        return {
+            "packets": dict(self._packets),
+            "bytes": dict(self._bytes),
+        }
+
+    def reset(self) -> None:
+        self._packets.clear()
+        self._bytes.clear()
+
+
+class PacketLengthHistogram(StatisticalObject):
+    """Packet-length histogram at a 50-byte granularity (T1 only)."""
+
+    name = "length-histogram"
+
+    def __init__(self, bin_width: int = 50, max_length: int = 4500) -> None:
+        if bin_width < 1:
+            raise ValueError("bin width must be positive")
+        self.bin_width = bin_width
+        self.n_bins = max_length // bin_width + 1
+        self._counts = np.zeros(self.n_bins, dtype=np.int64)
+
+    def observe(self, batch: Trace) -> None:
+        if not len(batch):
+            return
+        idx = np.minimum(batch.sizes // self.bin_width, self.n_bins - 1)
+        self._counts += np.bincount(idx, minlength=self.n_bins)
+
+    def snapshot(self) -> Dict:
+        return {"bin_width": self.bin_width, "counts": self._counts.copy()}
+
+    def reset(self) -> None:
+        self._counts[:] = 0
+
+
+class ArrivalRateHistogram(StatisticalObject):
+    """Per-second histogram of packet arrival rates (20 pps bins, T1).
+
+    Batches are assumed to be whole seconds of traffic, which is how
+    the node simulation feeds its collectors.
+    """
+
+    name = "rate-histogram"
+
+    def __init__(self, bin_width: int = 20, max_rate: int = 4000) -> None:
+        if bin_width < 1:
+            raise ValueError("bin width must be positive")
+        self.bin_width = bin_width
+        self.n_bins = max_rate // bin_width + 1
+        self._counts = np.zeros(self.n_bins, dtype=np.int64)
+
+    def observe(self, batch: Trace) -> None:
+        idx = min(len(batch) // self.bin_width, self.n_bins - 1)
+        self._counts[idx] += 1
+
+    def snapshot(self) -> Dict:
+        return {"bin_width": self.bin_width, "counts": self._counts.copy()}
+
+    def reset(self) -> None:
+        self._counts[:] = 0
+
+
+class SizeQuantileObject(StatisticalObject):
+    """Online packet-size summary (mean/std/quantiles, O(1) state).
+
+    Produces Table 3-style numbers continuously without storing
+    packets: Welford moments plus P² markers for the quartiles — the
+    kind of object a collector can afford even when a full histogram
+    is too hot a cache line.  Not part of the historical Table 1 set;
+    provided as the streaming-statistics face of the same machinery.
+    """
+
+    name = "size-quantiles"
+
+    def __init__(self, quantiles: Tuple[float, ...] = (0.25, 0.5, 0.75)) -> None:
+        from repro.stats.streams import P2Quantile, RunningStats
+
+        self._quantile_levels = tuple(quantiles)
+        self._moments = RunningStats()
+        self._estimators = [P2Quantile(q) for q in quantiles]
+
+    def observe(self, batch: Trace) -> None:
+        for size in batch.sizes:
+            value = float(size)
+            self._moments.update(value)
+            for estimator in self._estimators:
+                estimator.update(value)
+
+    def snapshot(self) -> Dict:
+        if self._moments.count == 0:
+            return {"count": 0}
+        return {
+            "count": self._moments.count,
+            "mean": self._moments.mean,
+            "std": self._moments.std,
+            "min": self._moments.minimum,
+            "max": self._moments.maximum,
+            "quantiles": {
+                level: estimator.value
+                for level, estimator in zip(
+                    self._quantile_levels, self._estimators
+                )
+            },
+        }
+
+    def reset(self) -> None:
+        self.__init__(self._quantile_levels)
+
+
+class VolumeCounter(StatisticalObject):
+    """Plain packet/byte volume (out-of-node and transit volumes)."""
+
+    name = "volume"
+
+    def __init__(self, label: str = "volume") -> None:
+        self.name = label
+        self.packets = 0
+        self.bytes = 0
+
+    def observe(self, batch: Trace) -> None:
+        self.packets += len(batch)
+        self.bytes += batch.total_bytes
+
+    def snapshot(self) -> Dict:
+        return {"packets": self.packets, "bytes": self.bytes}
+
+    def reset(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+
+
+def t3_object_set() -> List[StatisticalObject]:
+    """The three objects the T3 backbone supports (Table 1)."""
+    return [SourceDestMatrix(), PortDistribution(), ProtocolDistribution()]
+
+
+def t1_object_set() -> List[StatisticalObject]:
+    """The full T1 object set of Table 1."""
+    return [
+        SourceDestMatrix(),
+        PortDistribution(),
+        ProtocolDistribution(),
+        PacketLengthHistogram(),
+        VolumeCounter("out-of-node-volume"),
+        ArrivalRateHistogram(),
+        VolumeCounter("transit-volume"),
+    ]

@@ -1,0 +1,56 @@
+"""Statistics substrate.
+
+From-scratch implementations of everything statistical the study needs:
+summary descriptions (Tables 2 and 3), the incomplete-gamma special
+functions behind the chi-square significance level, chi-square and
+normal distribution functions, Tukey boxplot statistics (Figure 6), and
+fixed-edge histogram helpers.  ``scipy`` is used only by the test suite
+to cross-validate these implementations.
+"""
+
+from repro.stats.describe import Description, describe, quantile
+from repro.stats.special import gamma_p, gamma_q, log_gamma
+from repro.stats.distributions import (
+    chi2_cdf,
+    chi2_sf,
+    normal_cdf,
+    normal_ppf,
+)
+from repro.stats.boxplot import BoxplotStats, boxplot_stats
+from repro.stats.histogram import bin_counts, bin_proportions
+from repro.stats.ecdf import (
+    Ecdf,
+    anderson_darling,
+    kolmogorov_sf,
+    ks_statistic,
+    ks_test,
+)
+from repro.stats.correlation import autocorrelation, intrasample_correlation
+from repro.stats.streams import P2Quantile, RunningHistogram, RunningStats
+
+__all__ = [
+    "Description",
+    "describe",
+    "quantile",
+    "gamma_p",
+    "gamma_q",
+    "log_gamma",
+    "chi2_cdf",
+    "chi2_sf",
+    "normal_cdf",
+    "normal_ppf",
+    "BoxplotStats",
+    "boxplot_stats",
+    "bin_counts",
+    "bin_proportions",
+    "Ecdf",
+    "anderson_darling",
+    "kolmogorov_sf",
+    "ks_statistic",
+    "ks_test",
+    "autocorrelation",
+    "intrasample_correlation",
+    "P2Quantile",
+    "RunningHistogram",
+    "RunningStats",
+]

@@ -1,0 +1,69 @@
+"""Tukey boxplot statistics.
+
+Figure 6 of the paper presents the phi-score replications as boxplots,
+with the whisker convention spelled out in its footnote 4: "the dotted
+lines ('whiskers') from the bottom to the top of the box extend to the
+extreme values of data or 1.5 times the interquartile difference from
+the center, whichever is less."  :func:`boxplot_stats` reproduces that
+convention and reports the outliers beyond the whiskers.
+"""
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.describe import quantile
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """The five-number boxplot summary plus outliers."""
+
+    q1: float
+    median: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: Tuple[float, ...]
+    mean: float
+    count: int
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+
+def boxplot_stats(values: Sequence[float], whisker: float = 1.5) -> BoxplotStats:
+    """Compute boxplot statistics with the paper's whisker rule.
+
+    Whiskers extend to the most extreme data point within
+    ``whisker * IQR`` of the box; data beyond are reported as outliers.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot compute boxplot statistics of an empty sample")
+    if whisker < 0:
+        raise ValueError("whisker factor must be non-negative")
+    q1 = quantile(arr, 0.25)
+    q3 = quantile(arr, 0.75)
+    med = quantile(arr, 0.50)
+    reach = whisker * (q3 - q1)
+    in_low = arr[arr >= q1 - reach]
+    in_high = arr[arr <= q3 + reach]
+    whisker_low = float(in_low.min()) if in_low.size else q1
+    whisker_high = float(in_high.max()) if in_high.size else q3
+    outliers = tuple(
+        float(v) for v in np.sort(arr[(arr < whisker_low) | (arr > whisker_high)])
+    )
+    return BoxplotStats(
+        q1=q1,
+        median=med,
+        q3=q3,
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=outliers,
+        mean=float(arr.mean()),
+        count=int(arr.size),
+    )

@@ -1,0 +1,86 @@
+"""Serial-correlation diagnostics for sampling-method theory.
+
+Section 5 of the paper summarizes Cochran's comparative theory:
+systematic sampling beats simple random sampling "if the variance
+within the systematic samples is larger than the population variance
+as a whole", loses when elements within a systematic sample are
+positively correlated, and stratified sampling wins on populations
+with a linear trend.  All of those conditions are statements about the
+population's serial structure; this module provides the diagnostics —
+the autocorrelation function and Cochran's intra-sample correlation
+coefficient — that the efficiency study
+(:mod:`repro.core.efficiency`) uses to connect theory to measurement.
+"""
+
+from typing import Sequence
+
+import numpy as np
+
+
+def autocorrelation(values: Sequence[float], max_lag: int) -> np.ndarray:
+    """Sample autocorrelation function at lags 0..max_lag.
+
+    The biased (divide-by-N) estimator, which is the standard choice
+    for a positive-semidefinite ACF.  A constant series has undefined
+    correlation; by convention lag 0 is 1 and all other lags 0.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot compute the ACF of an empty series")
+    if max_lag < 0:
+        raise ValueError("max_lag must be non-negative")
+    if max_lag >= arr.size:
+        raise ValueError(
+            "max_lag %d too large for a series of %d points"
+            % (max_lag, arr.size)
+        )
+    centered = arr - arr.mean()
+    denominator = float(np.dot(centered, centered))
+    acf = np.empty(max_lag + 1)
+    acf[0] = 1.0
+    if denominator == 0.0:
+        acf[1:] = 0.0
+        return acf
+    for lag in range(1, max_lag + 1):
+        acf[lag] = float(np.dot(centered[:-lag], centered[lag:])) / denominator
+    return acf
+
+
+def intrasample_correlation(values: Sequence[float], granularity: int) -> float:
+    """Cochran's rho_w: correlation between pairs within a systematic sample.
+
+    For a population split into systematic samples of step k, this is
+    the average correlation between pairs of elements that land in the
+    same systematic sample — the quantity whose sign decides whether
+    systematic sampling beats simple random sampling:
+
+        Var_sys = (S^2 / n) * [1 + (n - 1) * rho_w]
+
+    Computed directly from its ANOVA identity: with B the
+    between-sample variance of the k phase-sample means (which *is*
+    the systematic estimator's variance),
+
+        rho_w = (n * B / S^2 - 1) / (n - 1)
+
+    where n is the (common) sample size.  Positive rho_w means the
+    phase samples disagree more than chance, i.e. systematic sampling
+    is *less* efficient than simple random sampling; negative rho_w
+    (the systematic samples each straddle the population's structure)
+    means it is more efficient.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if granularity < 2:
+        raise ValueError("granularity must be at least 2")
+    n = arr.size // granularity
+    if n < 2:
+        raise ValueError(
+            "population of %d too short for granularity %d" % (arr.size, granularity)
+        )
+    trimmed = arr[: n * granularity]
+    matrix = trimmed.reshape(n, granularity)  # row i = bucket i
+    sample_means = matrix.mean(axis=0)  # one mean per phase
+    population_variance = float(trimmed.var())
+    if population_variance == 0.0:
+        return 0.0
+    between = float(sample_means.var())
+    return (n * between / population_variance - 1.0) / (n - 1.0)

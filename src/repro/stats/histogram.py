@@ -1,0 +1,45 @@
+"""Fixed-edge histogram helpers.
+
+The chi-square family of metrics compares *bin counts* between a sample
+and its parent population over a fixed set of ranges (Section 7.1).
+These helpers bin data against explicit interior edges, producing
+``len(edges) + 1`` bins: ``(-inf, e0), [e0, e1), ..., [ek, inf)``.
+
+That edge convention matches the paper's wording — e.g. packet sizes
+"less than 41; between 41 and 180; and greater than 180" are produced
+by interior edges (41, 181).
+"""
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _validated_edges(edges: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(edges, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("need at least one interior bin edge")
+    if np.any(np.diff(arr) <= 0):
+        raise ValueError("bin edges must be strictly increasing")
+    return arr
+
+
+def bin_counts(values: Sequence[float], edges: Sequence[float]) -> np.ndarray:
+    """Counts per bin for interior ``edges``.
+
+    Bin ``i`` holds values in ``[edges[i-1], edges[i])`` with open ends
+    below the first and at-or-above the last edge.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    edge_arr = _validated_edges(edges)
+    idx = np.searchsorted(edge_arr, arr, side="right")
+    return np.bincount(idx, minlength=edge_arr.size + 1).astype(np.int64)
+
+
+def bin_proportions(values: Sequence[float], edges: Sequence[float]) -> np.ndarray:
+    """Proportion of the sample in each bin; errors on empty input."""
+    counts = bin_counts(values, edges)
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("cannot compute proportions of an empty sample")
+    return counts / float(total)

@@ -1,0 +1,93 @@
+"""Special functions for distribution tails.
+
+Implements the regularized incomplete gamma functions P(a, x) and
+Q(a, x) from scratch (power series for x < a+1, Lentz continued
+fraction otherwise), which are all the machinery the chi-square
+significance level needs.  ``log_gamma`` is a thin, documented alias of
+the C-library ``lgamma`` exposed through :mod:`math`.
+
+The test suite cross-checks these against ``scipy.special`` to ~1e-12.
+"""
+
+import math
+
+#: Convergence tolerance for the series/continued-fraction expansions.
+_EPS = 1e-15
+#: Iteration cap; both expansions converge in far fewer steps for the
+#: degrees of freedom used anywhere in the study (< 10).
+_MAX_ITER = 10_000
+
+
+def log_gamma(a: float) -> float:
+    """Natural log of the gamma function for ``a > 0``."""
+    if a <= 0:
+        raise ValueError("log_gamma requires a > 0, got %r" % (a,))
+    return math.lgamma(a)
+
+
+def _gamma_p_series(a: float, x: float) -> float:
+    """P(a, x) by its power series; accurate for x < a + 1."""
+    term = 1.0 / a
+    total = term
+    denom = a
+    for _ in range(_MAX_ITER):
+        denom += 1.0
+        term *= x / denom
+        total += term
+        if abs(term) < abs(total) * _EPS:
+            break
+    else:
+        raise ArithmeticError("incomplete gamma series failed to converge")
+    return total * math.exp(-x + a * math.log(x) - log_gamma(a))
+
+
+def _gamma_q_contfrac(a: float, x: float) -> float:
+    """Q(a, x) by modified Lentz continued fraction; accurate for x >= a + 1."""
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITER):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            break
+    else:
+        raise ArithmeticError("incomplete gamma continued fraction failed to converge")
+    return h * math.exp(-x + a * math.log(x) - log_gamma(a))
+
+
+def gamma_p(a: float, x: float) -> float:
+    """Regularized lower incomplete gamma P(a, x) = gamma(a, x)/Gamma(a)."""
+    if a <= 0:
+        raise ValueError("gamma_p requires a > 0, got %r" % (a,))
+    if x < 0:
+        raise ValueError("gamma_p requires x >= 0, got %r" % (x,))
+    if x == 0:
+        return 0.0
+    if x < a + 1.0:
+        return _gamma_p_series(a, x)
+    return 1.0 - _gamma_q_contfrac(a, x)
+
+
+def gamma_q(a: float, x: float) -> float:
+    """Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x)."""
+    if a <= 0:
+        raise ValueError("gamma_q requires a > 0, got %r" % (a,))
+    if x < 0:
+        raise ValueError("gamma_q requires x >= 0, got %r" % (x,))
+    if x == 0:
+        return 1.0
+    if x < a + 1.0:
+        return 1.0 - _gamma_p_series(a, x)
+    return _gamma_q_contfrac(a, x)

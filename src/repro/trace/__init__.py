@@ -1,0 +1,52 @@
+"""Packet-trace substrate.
+
+This subpackage provides the data plumbing that the sampling study rests
+on: an immutable columnar packet-trace container (:class:`Trace`), a
+single-packet record view (:class:`PacketRecord`), a from-scratch classic
+libpcap reader/writer, the 400 microsecond monitor clock used by the
+paper's measurement hardware, time-window filters, and the per-second
+volume series summarized in Table 2 of the paper.
+"""
+
+from repro.trace.packet import (
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    PROTOCOL_NAMES,
+    PacketRecord,
+)
+from repro.trace.trace import Trace
+from repro.trace.clock import MonitorClock
+from repro.trace.pcap import PcapError, read_pcap, write_pcap
+from repro.trace.filters import (
+    first_packets,
+    prefix_interval,
+    sliding_windows,
+    time_window,
+    where,
+)
+from repro.trace.validate import ValidationIssue, is_clean, validate_trace
+from repro.trace.series import PerSecondSeries, per_second_series
+
+__all__ = [
+    "IPPROTO_ICMP",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "PROTOCOL_NAMES",
+    "PacketRecord",
+    "Trace",
+    "MonitorClock",
+    "PcapError",
+    "read_pcap",
+    "write_pcap",
+    "first_packets",
+    "prefix_interval",
+    "sliding_windows",
+    "time_window",
+    "where",
+    "ValidationIssue",
+    "is_clean",
+    "validate_trace",
+    "PerSecondSeries",
+    "per_second_series",
+]

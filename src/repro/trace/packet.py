@@ -1,0 +1,91 @@
+"""Single-packet record type and IP protocol constants.
+
+The study characterizes IP packets entering the NSFNET backbone.  A
+packet, for our purposes, is the small set of header fields that the
+NNStat/ARTS statistical objects consume: an arrival timestamp, the IP
+datagram length, the transport protocol, source and destination network
+numbers, and (for TCP/UDP) source and destination ports.
+
+:class:`PacketRecord` is a *view* type: bulk storage lives in
+:class:`repro.trace.trace.Trace` as columnar numpy arrays, and records
+are materialized on demand for row-oriented code (collectors, tests,
+examples).
+"""
+
+from dataclasses import dataclass
+
+#: IP protocol numbers for the protocols the paper's Table 1 objects
+#: distinguish (distribution of protocol over IP: TCP, UDP, ICMP).
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+#: Human-readable names, used by the protocol-distribution object and by
+#: report formatting.
+PROTOCOL_NAMES = {
+    IPPROTO_ICMP: "ICMP",
+    IPPROTO_TCP: "TCP",
+    IPPROTO_UDP: "UDP",
+}
+
+#: Minimum sensible IP packet: 20-byte IP header + 8 bytes of payload or
+#: transport header (the trace population's observed minimum is 28).
+MIN_PACKET_SIZE = 20
+
+#: Upper bound on IP datagram size: the FDDI MTU of the study's capture
+#: interface.  (The observed population maximum was 1500 — hosts behind
+#: Ethernet segments dominated — but the monitor itself could have seen
+#: full FDDI frames.)
+MAX_PACKET_SIZE = 4478
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One IP packet header summary.
+
+    Attributes
+    ----------
+    timestamp_us:
+        Arrival time in integer microseconds since the start of the
+        trace.  The capture clock of the paper's monitor ticks every
+        400 us; raw generated traces may be finer until quantized by
+        :class:`repro.trace.clock.MonitorClock`.
+    size:
+        IP datagram length in bytes (header included).
+    protocol:
+        IP protocol number (e.g. :data:`IPPROTO_TCP`).
+    src_net, dst_net:
+        Network numbers, the aggregation key of the NSFNET
+        source-destination traffic matrix object.
+    src_port, dst_port:
+        Transport ports; zero for protocols without ports (ICMP).
+    """
+
+    timestamp_us: int
+    size: int
+    protocol: int = IPPROTO_TCP
+    src_net: int = 0
+    dst_net: int = 0
+    src_port: int = 0
+    dst_port: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timestamp_us < 0:
+            raise ValueError(
+                "packet timestamp must be non-negative, got %d" % self.timestamp_us
+            )
+        if self.size < MIN_PACKET_SIZE or self.size > MAX_PACKET_SIZE:
+            raise ValueError(
+                "packet size %d outside [%d, %d]"
+                % (self.size, MIN_PACKET_SIZE, MAX_PACKET_SIZE)
+            )
+
+    @property
+    def protocol_name(self) -> str:
+        """Name of the IP protocol, or ``"IP-<n>"`` if unknown."""
+        return PROTOCOL_NAMES.get(self.protocol, "IP-%d" % self.protocol)
+
+    @property
+    def has_ports(self) -> bool:
+        """Whether the protocol carries TCP/UDP port numbers."""
+        return self.protocol in (IPPROTO_TCP, IPPROTO_UDP)

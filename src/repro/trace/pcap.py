@@ -1,0 +1,229 @@
+"""Classic libpcap file reader/writer, from scratch.
+
+The original study stored its 650 MB trace in a site-specific format.
+For interoperability this module serializes :class:`~repro.trace.Trace`
+objects to the classic libpcap container (magic ``0xa1b2c3d4``,
+microsecond timestamps) with RAW-IP link type, writing genuine IPv4 +
+TCP/UDP/ICMP headers so the files load in standard tooling.
+
+Only the header fields the study consumes are preserved.  Network
+numbers are encoded in the upper 16 bits of each IPv4 address
+(``addr = net << 16 | host``), mirroring the class-B flavoured NSFNET
+numbering of the era; the reader inverts the same convention.
+"""
+
+import struct
+from typing import BinaryIO, Union
+
+import numpy as np
+
+from repro.trace.packet import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP
+from repro.trace.trace import Trace
+
+#: Classic libpcap magic for microsecond-resolution timestamps.
+PCAP_MAGIC = 0xA1B2C3D4
+#: DLT_RAW: packets begin directly with the IPv4 header.
+LINKTYPE_RAW = 101
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_GLOBAL_HEADER_BE = struct.Struct(">IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+_RECORD_HEADER_BE = struct.Struct(">IIII")
+_IP_HEADER = struct.Struct(">BBHHHBBHII")
+
+_IP_HEADER_LEN = 20
+_TRANSPORT_HEADER_LEN = {IPPROTO_TCP: 20, IPPROTO_UDP: 8, IPPROTO_ICMP: 8}
+#: Capture length: enough for IP + the largest transport header we emit.
+DEFAULT_SNAPLEN = 64
+
+
+class PcapError(ValueError):
+    """Raised when a pcap stream is malformed or unsupported."""
+
+
+def _ip_checksum(header: bytes) -> int:
+    """RFC 1071 ones-complement checksum over an IPv4 header."""
+    if len(header) % 2:
+        header += b"\x00"
+    total = sum(struct.unpack(">%dH" % (len(header) // 2), header))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def _encode_address(net: int, host: int) -> int:
+    return ((net & 0xFFFF) << 16) | (host & 0xFFFF)
+
+
+def _build_packet_bytes(
+    size: int,
+    protocol: int,
+    src_net: int,
+    dst_net: int,
+    src_port: int,
+    dst_port: int,
+    snaplen: int,
+) -> bytes:
+    """Serialize one packet's captured bytes (headers + zero padding)."""
+    header = _IP_HEADER.pack(
+        0x45,  # version 4, IHL 5
+        0,  # TOS
+        size,  # total length
+        0,  # identification
+        0,  # flags/fragment offset
+        64,  # TTL
+        protocol,
+        0,  # checksum placeholder
+        _encode_address(src_net, 1),
+        _encode_address(dst_net, 1),
+    )
+    checksum = _ip_checksum(header)
+    header = header[:10] + struct.pack(">H", checksum) + header[12:]
+
+    if protocol == IPPROTO_TCP:
+        transport = struct.pack(
+            ">HHIIBBHHH", src_port, dst_port, 0, 0, 0x50, 0x10, 8192, 0, 0
+        )
+    elif protocol == IPPROTO_UDP:
+        udp_len = max(8, size - _IP_HEADER_LEN)
+        transport = struct.pack(">HHHH", src_port, dst_port, udp_len, 0)
+    elif protocol == IPPROTO_ICMP:
+        transport = struct.pack(">BBHI", 8, 0, 0, 0)  # echo request
+    else:
+        transport = b""
+
+    captured = header + transport
+    pad = min(size, snaplen) - len(captured)
+    if pad > 0:
+        captured += b"\x00" * pad
+    return captured[:snaplen]
+
+
+def write_pcap(
+    trace: Trace, destination: Union[str, BinaryIO], snaplen: int = DEFAULT_SNAPLEN
+) -> None:
+    """Write ``trace`` to ``destination`` as a classic pcap file.
+
+    Parameters
+    ----------
+    trace:
+        The trace to serialize.
+    destination:
+        File path or writable binary stream.
+    snaplen:
+        Capture length per packet.  Headers always fit within the
+        default; payload beyond the snap length is truncated, with the
+        true size preserved in the record's original-length field.
+    """
+    if snaplen < _IP_HEADER_LEN + max(_TRANSPORT_HEADER_LEN.values()):
+        raise ValueError("snaplen %d too small to hold packet headers" % snaplen)
+    if isinstance(destination, str):
+        with open(destination, "wb") as stream:
+            write_pcap(trace, stream, snaplen=snaplen)
+        return
+
+    destination.write(
+        _GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen, LINKTYPE_RAW)
+    )
+    for i in range(len(trace)):
+        ts = int(trace.timestamps_us[i])
+        payload = _build_packet_bytes(
+            size=int(trace.sizes[i]),
+            protocol=int(trace.protocols[i]),
+            src_net=int(trace.src_nets[i]),
+            dst_net=int(trace.dst_nets[i]),
+            src_port=int(trace.src_ports[i]),
+            dst_port=int(trace.dst_ports[i]),
+            snaplen=snaplen,
+        )
+        destination.write(
+            _RECORD_HEADER.pack(
+                ts // 1_000_000, ts % 1_000_000, len(payload), int(trace.sizes[i])
+            )
+        )
+        destination.write(payload)
+
+
+def _read_exactly(stream: BinaryIO, count: int) -> bytes:
+    data = stream.read(count)
+    if len(data) != count:
+        raise PcapError(
+            "truncated pcap stream: wanted %d bytes, got %d" % (count, len(data))
+        )
+    return data
+
+
+def read_pcap(source: Union[str, BinaryIO]) -> Trace:
+    """Read a classic pcap file into a :class:`Trace`.
+
+    Supports both byte orders (by magic), requires RAW-IP link type and
+    microsecond timestamps, and tolerates truncated payload capture as
+    long as the 20-byte IPv4 header plus any port fields were captured.
+    """
+    if isinstance(source, str):
+        with open(source, "rb") as stream:
+            return read_pcap(stream)
+
+    head = _read_exactly(source, _GLOBAL_HEADER.size)
+    magic_le = struct.unpack("<I", head[:4])[0]
+    if magic_le == PCAP_MAGIC:
+        global_hdr, record_hdr = _GLOBAL_HEADER, _RECORD_HEADER
+    elif struct.unpack(">I", head[:4])[0] == PCAP_MAGIC:
+        global_hdr, record_hdr = _GLOBAL_HEADER_BE, _RECORD_HEADER_BE
+    else:
+        raise PcapError("bad pcap magic 0x%08x" % magic_le)
+
+    _magic, major, minor, _tz, _sig, _snaplen, linktype = global_hdr.unpack(head)
+    if (major, minor) != (2, 4):
+        raise PcapError("unsupported pcap version %d.%d" % (major, minor))
+    if linktype != LINKTYPE_RAW:
+        raise PcapError("unsupported link type %d (want RAW IP)" % linktype)
+
+    timestamps, sizes, protocols = [], [], []
+    src_nets, dst_nets, src_ports, dst_ports = [], [], [], []
+    while True:
+        raw = source.read(record_hdr.size)
+        if not raw:
+            break
+        if len(raw) != record_hdr.size:
+            raise PcapError("truncated pcap record header")
+        ts_sec, ts_usec, incl_len, orig_len = record_hdr.unpack(raw)
+        payload = _read_exactly(source, incl_len)
+        if incl_len < _IP_HEADER_LEN:
+            raise PcapError("record captured %d bytes, below IP header" % incl_len)
+        (
+            ver_ihl,
+            _tos,
+            _total,
+            _ident,
+            _frag,
+            _ttl,
+            protocol,
+            _cksum,
+            src_addr,
+            dst_addr,
+        ) = _IP_HEADER.unpack(payload[:_IP_HEADER_LEN])
+        if ver_ihl >> 4 != 4:
+            raise PcapError("non-IPv4 packet in RAW-IP pcap")
+        src_port = dst_port = 0
+        if protocol in (IPPROTO_TCP, IPPROTO_UDP) and incl_len >= _IP_HEADER_LEN + 4:
+            src_port, dst_port = struct.unpack(
+                ">HH", payload[_IP_HEADER_LEN : _IP_HEADER_LEN + 4]
+            )
+        timestamps.append(ts_sec * 1_000_000 + ts_usec)
+        sizes.append(orig_len)
+        protocols.append(protocol)
+        src_nets.append(src_addr >> 16)
+        dst_nets.append(dst_addr >> 16)
+        src_ports.append(src_port)
+        dst_ports.append(dst_port)
+
+    return Trace(
+        timestamps_us=np.asarray(timestamps, dtype=np.int64),
+        sizes=np.asarray(sizes, dtype=np.int32),
+        protocols=protocols,
+        src_nets=src_nets,
+        dst_nets=dst_nets,
+        src_ports=src_ports,
+        dst_ports=dst_ports,
+    )

@@ -1,0 +1,127 @@
+"""Trace sanity checking.
+
+Before feeding a captured trace to the sampling analysis, an operator
+wants to know it is well-formed: monotone timestamps, plausible packet
+sizes, port fields consistent with protocols, no silent clock jumps.
+:func:`validate_trace` runs those checks and returns human-readable
+findings instead of raising, so a mostly-good trace can still be
+triaged.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.trace.packet import (
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    MAX_PACKET_SIZE,
+    MIN_PACKET_SIZE,
+)
+from repro.trace.trace import Trace
+
+#: A gap this long inside a trace suggests the monitor stalled or the
+#: capture has a hole (over a minute of silence at a backbone
+#: entrance).
+SUSPICIOUS_GAP_US = 60 * 1_000_000
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding: severity ("error" or "warning") plus description."""
+
+    severity: str
+    message: str
+
+    def __str__(self) -> str:
+        return "%s: %s" % (self.severity, self.message)
+
+
+def validate_trace(trace: Trace) -> List[ValidationIssue]:
+    """Check a trace's internal consistency.
+
+    Returns an empty list for a clean trace.  "error" findings mean
+    analysis results would be wrong (ordering, impossible sizes);
+    "warning" findings mean they deserve a second look (capture holes,
+    portless protocols carrying ports).
+    """
+    issues: List[ValidationIssue] = []
+    if not len(trace):
+        issues.append(ValidationIssue("warning", "trace is empty"))
+        return issues
+
+    gaps = np.diff(trace.timestamps_us)
+    if gaps.size and int(gaps.min()) < 0:
+        issues.append(
+            ValidationIssue("error", "timestamps are not non-decreasing")
+        )
+
+    too_small = int((trace.sizes < MIN_PACKET_SIZE).sum())
+    if too_small:
+        issues.append(
+            ValidationIssue(
+                "error",
+                "%d packets below the %d-byte minimum IP size"
+                % (too_small, MIN_PACKET_SIZE),
+            )
+        )
+    too_big = int((trace.sizes > MAX_PACKET_SIZE).sum())
+    if too_big:
+        issues.append(
+            ValidationIssue(
+                "error",
+                "%d packets above the %d-byte maximum"
+                % (too_big, MAX_PACKET_SIZE),
+            )
+        )
+
+    if gaps.size:
+        holes = int((gaps > SUSPICIOUS_GAP_US).sum())
+        if holes:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    "%d inter-packet gaps exceed %d s (capture holes?)"
+                    % (holes, SUSPICIOUS_GAP_US // 1_000_000),
+                )
+            )
+
+    portless = ~np.isin(trace.protocols, (IPPROTO_TCP, IPPROTO_UDP))
+    ported_portless = int(
+        (portless & ((trace.src_ports > 0) | (trace.dst_ports > 0))).sum()
+    )
+    if ported_portless:
+        issues.append(
+            ValidationIssue(
+                "warning",
+                "%d portless-protocol packets carry port numbers"
+                % ported_portless,
+            )
+        )
+
+    zero_sized_seconds = _empty_busy_ratio(trace)
+    if zero_sized_seconds is not None and zero_sized_seconds > 0.5:
+        issues.append(
+            ValidationIssue(
+                "warning",
+                "%.0f%% of whole seconds contain no packets (sparse or "
+                "gated capture?)" % (100 * zero_sized_seconds),
+            )
+        )
+    return issues
+
+
+def _empty_busy_ratio(trace: Trace):
+    """Fraction of whole seconds with zero packets, or None if <2 s."""
+    duration_s = trace.duration_us // 1_000_000
+    if duration_s < 2:
+        return None
+    rel = (trace.timestamps_us - trace.timestamps_us[0]) // 1_000_000
+    occupied = np.unique(rel[rel < duration_s]).size
+    return 1.0 - occupied / int(duration_s)
+
+
+def is_clean(trace: Trace) -> bool:
+    """Whether validation finds no errors (warnings allowed)."""
+    return not any(i.severity == "error" for i in validate_trace(trace))

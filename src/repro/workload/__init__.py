@@ -1,0 +1,78 @@
+"""Synthetic NSFNET-entrance workload generator.
+
+The paper's data is a proprietary (and long-lost) one-hour, 1.6
+million-packet trace of traffic from the San Diego Supercomputer Center
+into the NSFNET backbone, captured on 23 March 1993.  This subpackage
+substitutes a calibrated synthetic equivalent:
+
+* packet sizes come from an *application mix* (acknowledgements,
+  interactive telnet, DNS, mail/transaction, bulk transfer) that
+  reproduces the strongly bimodal 40/552-byte population of Table 3;
+* arrivals come from a train-structured burst process (geometric train
+  lengths, exponential intra-train gaps, gamma inter-train gaps)
+  modulated by a non-stationary lognormal AR(1) per-second rate,
+  reproducing the Table 2 rate moments and Table 3 interarrival
+  quantiles;
+* network numbers and ports are assigned per train from Zipf-like flow
+  pools, so the Table 1 statistical objects (traffic matrix, port and
+  protocol distributions) have realistic heavy-tailed shapes.
+
+The headline entry point is :func:`nsfnet_hour_trace`, which returns the
+clock-quantized parent population used throughout the reproduction.
+"""
+
+from repro.workload.mix import (
+    ApplicationComponent,
+    ApplicationMix,
+    fixwest_mix,
+    nsfnet_mix,
+)
+from repro.workload.sizes import (
+    ConstantSize,
+    DiscreteSize,
+    SizeDistribution,
+    UniformSize,
+)
+from repro.workload.rates import RateProcess
+from repro.workload.arrivals import TrainArrivalModel
+from repro.workload.modulation import MixModulator
+from repro.workload.flows import FlowPool
+from repro.workload.generator import (
+    TraceGenerator,
+    fixwest_hour_trace,
+    nsfnet_hour_trace,
+)
+from repro.workload.diurnal import (
+    DiurnalProfile,
+    busy_hour,
+    nsfnet_day_trace,
+)
+from repro.workload.calibration import (
+    CALIBRATION_TARGETS,
+    CalibrationReport,
+    calibrate,
+)
+
+__all__ = [
+    "ApplicationComponent",
+    "ApplicationMix",
+    "nsfnet_mix",
+    "fixwest_mix",
+    "ConstantSize",
+    "DiscreteSize",
+    "SizeDistribution",
+    "UniformSize",
+    "RateProcess",
+    "TrainArrivalModel",
+    "MixModulator",
+    "FlowPool",
+    "TraceGenerator",
+    "nsfnet_hour_trace",
+    "fixwest_hour_trace",
+    "DiurnalProfile",
+    "busy_hour",
+    "nsfnet_day_trace",
+    "CALIBRATION_TARGETS",
+    "CalibrationReport",
+    "calibrate",
+]

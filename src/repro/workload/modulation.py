@@ -1,0 +1,157 @@
+"""Per-second application-mix modulation.
+
+Table 2 shows the *byte* rate fluctuating far more (std/mean = 39%)
+than the *packet* rate (20%), and the mean per-second packet size
+swinging from 82 to 398 bytes.  A time-homogeneous application mix
+cannot produce that: the share of bulk-transfer traffic must itself
+wander as individual file transfers start and finish, and busy seconds
+must skew bulk-heavy.
+
+:class:`MixModulator` produces a per-second matrix of train-selection
+probabilities: the heavy components' weights are multiplied by a
+lognormal AR(1) factor partially correlated with the load innovation
+of :class:`~repro.workload.rates.RateProcess`, then renormalized.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.workload.mix import ApplicationMix
+
+#: Components whose packet-size mean marks them as bulk transfer.
+HEAVY_SIZE_THRESHOLD = 300.0
+
+
+@dataclass(frozen=True)
+class MixModulator:
+    """Lognormal AR(1) modulation of the heavy components' train weights.
+
+    Parameters
+    ----------
+    mix:
+        The application mix being modulated.
+    sigma:
+        Log-scale volatility of the heavy-weight multiplier; 0 recovers
+        the homogeneous mix.
+    load_correlation:
+        Correlation between the multiplier's innovation and the rate
+        process innovation (busy seconds are bulk-heavy).
+    autocorrelation:
+        AR(1) coefficient of the multiplier's own innovation; close to
+        1 because transfers persist for many seconds.
+    heavy_components:
+        Names of modulated components; by default every component whose
+        mean packet size exceeds ``HEAVY_SIZE_THRESHOLD`` bytes.
+    """
+
+    mix: ApplicationMix
+    sigma: float = 0.45
+    load_correlation: float = 0.5
+    autocorrelation: float = 0.95
+    heavy_components: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if not -1.0 <= self.load_correlation <= 1.0:
+            raise ValueError("load correlation must be in [-1, 1]")
+        if not 0.0 <= self.autocorrelation < 1.0:
+            raise ValueError("autocorrelation must be in [0, 1)")
+        if not self.heavy_components:
+            heavy = tuple(
+                c.name
+                for c in self.mix.components
+                if c.sizes.mean() > HEAVY_SIZE_THRESHOLD
+            )
+            if not heavy:
+                raise ValueError(
+                    "mix has no heavy components to modulate; pass "
+                    "heavy_components explicitly"
+                )
+            object.__setattr__(self, "heavy_components", heavy)
+        names = {c.name for c in self.mix.components}
+        unknown = set(self.heavy_components) - names
+        if unknown:
+            raise ValueError("unknown components: %s" % sorted(unknown))
+
+    def _heavy_mask(self) -> np.ndarray:
+        return np.array(
+            [c.name in self.heavy_components for c in self.mix.components],
+            dtype=bool,
+        )
+
+    def _mean_correction(self) -> float:
+        """Constant c making the heavy *probability* mean-preserving.
+
+        The multiplier is mean-one on the heavy components' weights,
+        but after renormalization the expected heavy probability drops
+        (the map m -> P m / (1 - P + P m) is concave).  This solves,
+        by bisection over a normal quadrature, for the constant c such
+        that E[ P c M / (1 - P + P c M) ] = P with M the mean-one
+        lognormal multiplier.
+        """
+        base = self.mix.train_probabilities
+        p_heavy = float(base[self._heavy_mask()].sum())
+        if p_heavy <= 0 or self.sigma == 0:
+            return 1.0
+        # 129-point trapezoid over +-6 sigma of the standard normal.
+        z = np.linspace(-6.0, 6.0, 129)
+        weights = np.exp(-0.5 * z * z)
+        weights /= weights.sum()
+        m = np.exp(self.sigma * z - 0.5 * self.sigma * self.sigma)
+
+        def expected(c: float) -> float:
+            pm = p_heavy * c * m
+            return float(np.dot(weights, pm / (1.0 - p_heavy + pm)))
+
+        lo, hi = 1.0, 10.0
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if expected(mid) < p_heavy:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def multipliers(
+        self, load_innovations: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-second heavy-weight multiplier sequence.
+
+        ``load_innovations`` is the AR(1) standard-normal sequence
+        driving the rate process; the multiplier's own innovation is
+        built to have the requested correlation with it.
+        """
+        z_load = np.asarray(load_innovations, dtype=np.float64)
+        n = z_load.size
+        if n == 0:
+            return np.empty(0)
+        rho = self.autocorrelation
+        noise = math.sqrt(1.0 - rho * rho)
+        own = np.empty(n)
+        eps = rng.standard_normal(n)
+        own[0] = eps[0]
+        for i in range(1, n):
+            own[i] = rho * own[i - 1] + noise * eps[i]
+        alpha = self.load_correlation
+        z = alpha * z_load + math.sqrt(1.0 - alpha * alpha) * own
+        # Mean-one lognormal, scaled so that after renormalization the
+        # long-run heavy probability matches the base mix.
+        return self._mean_correction() * np.exp(
+            self.sigma * z - self.sigma * self.sigma / 2.0
+        )
+
+    def probabilities(
+        self, load_innovations: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-second train-selection probability matrix (S x n_comp)."""
+        mult = self.multipliers(load_innovations, rng)
+        base = self.mix.train_probabilities
+        probs = np.tile(base, (mult.size, 1))
+        heavy = self._heavy_mask()
+        probs[:, heavy] *= mult[:, None]
+        probs /= probs.sum(axis=1, keepdims=True)
+        return probs

@@ -1,0 +1,109 @@
+"""Packet-size distribution primitives.
+
+Each application component of the mix draws its packet sizes from one
+of these small distribution objects.  All of them are vectorized: they
+draw ``n`` sizes at once from a :class:`numpy.random.Generator`.
+"""
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.trace.packet import MAX_PACKET_SIZE, MIN_PACKET_SIZE
+
+
+class SizeDistribution:
+    """Interface: a drawable distribution over packet sizes (bytes)."""
+
+    def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` packet sizes as an int32 array."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected packet size, used by mix calibration."""
+        raise NotImplementedError
+
+
+def _check_size(size: int) -> None:
+    if not MIN_PACKET_SIZE <= size <= MAX_PACKET_SIZE:
+        raise ValueError(
+            "size %d outside [%d, %d]" % (size, MIN_PACKET_SIZE, MAX_PACKET_SIZE)
+        )
+
+
+@dataclass(frozen=True)
+class ConstantSize(SizeDistribution):
+    """Every packet has the same size (e.g. 40-byte pure ACKs)."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        _check_size(self.size)
+
+    def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self.size, dtype=np.int32)
+
+    def mean(self) -> float:
+        return float(self.size)
+
+
+@dataclass(frozen=True)
+class UniformSize(SizeDistribution):
+    """Sizes uniform on the inclusive integer range [low, high]."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        _check_size(self.low)
+        _check_size(self.high)
+        if self.low > self.high:
+            raise ValueError("low %d exceeds high %d" % (self.low, self.high))
+
+    def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(self.low, self.high + 1, size=n, dtype=np.int32)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class DiscreteSize(SizeDistribution):
+    """A weighted choice over explicit sizes.
+
+    Used for components like bulk transfer whose packets are mostly
+    full 552-byte segments with occasional larger MTU-sized or partial
+    final segments.
+    """
+
+    sizes: Tuple[int, ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.weights) or not self.sizes:
+            raise ValueError("sizes and weights must be equal-length and non-empty")
+        for size in self.sizes:
+            _check_size(size)
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+
+    def _probs(self) -> np.ndarray:
+        w = np.asarray(self.weights, dtype=np.float64)
+        return w / w.sum()
+
+    def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        choices = rng.choice(len(self.sizes), size=n, p=self._probs())
+        return np.asarray(self.sizes, dtype=np.int32)[choices]
+
+    def mean(self) -> float:
+        return float(np.dot(self._probs(), np.asarray(self.sizes, dtype=np.float64)))
+
+
+def mixture_mean(distributions: Sequence[SizeDistribution], weights: Sequence[float]) -> float:
+    """Expected size of a weighted mixture of size distributions."""
+    w = np.asarray(weights, dtype=np.float64)
+    if w.sum() <= 0:
+        raise ValueError("mixture weights must have positive sum")
+    w = w / w.sum()
+    return float(sum(wi * d.mean() for wi, d in zip(w, distributions)))

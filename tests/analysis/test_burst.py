@@ -1,0 +1,96 @@
+"""Burst/train structure detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.burst import (
+    summarize_bursts,
+    timer_selection_bias,
+    train_lengths,
+)
+from repro.core.sampling.systematic import SystematicSampler
+from repro.core.sampling.timer import TimerSystematicSampler
+from repro.trace.trace import Trace
+
+
+def trains_trace():
+    """Three explicit trains: lengths 3, 1, 2 (threshold 800 us)."""
+    return Trace(
+        timestamps_us=[0, 200, 500, 5000, 12_000, 12_300],
+        sizes=[40] * 6,
+    )
+
+
+class TestTrainLengths:
+    def test_explicit_trains(self):
+        lengths = train_lengths(trains_trace(), threshold_us=800)
+        assert lengths.tolist() == [3, 1, 2]
+
+    def test_lengths_sum_to_packets(self, minute_trace):
+        lengths = train_lengths(minute_trace, threshold_us=800)
+        assert lengths.sum() == len(minute_trace)
+
+    def test_zero_threshold_all_singletons(self):
+        trace = Trace(timestamps_us=[0, 100, 200], sizes=[40] * 3)
+        assert train_lengths(trace, threshold_us=0).tolist() == [1, 1, 1]
+
+    def test_huge_threshold_single_train(self, tiny_trace):
+        lengths = train_lengths(tiny_trace, threshold_us=10**9)
+        assert lengths.tolist() == [len(tiny_trace)]
+
+    def test_empty_trace(self):
+        assert train_lengths(Trace.empty(), 800).size == 0
+
+    def test_negative_threshold_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            train_lengths(tiny_trace, -1)
+
+
+class TestSummarizeBursts:
+    def test_explicit_summary(self):
+        summary = summarize_bursts(trains_trace(), threshold_us=800)
+        assert summary.n_packets == 6
+        assert summary.n_trains == 3
+        assert summary.mean_train_length == pytest.approx(2.0)
+        assert summary.max_train_length == 3
+        # Packets in trains of >= 2: 3 + 2 = 5 of 6.
+        assert summary.burst_packet_fraction == pytest.approx(5 / 6)
+        assert summary.intra_gap_mean_us == pytest.approx(
+            np.mean([200, 300, 300])
+        )
+        assert summary.inter_gap_mean_us == pytest.approx(
+            np.mean([4500, 7000])
+        )
+
+    def test_generator_structure_recovered(self, minute_trace):
+        """The synthetic workload's configured train structure shows up."""
+        summary = summarize_bursts(minute_trace)
+        # Generator: mean train ~1.6, intra gaps exp(400 us).
+        assert 1.2 < summary.mean_train_length < 2.5
+        assert 150 < summary.intra_gap_mean_us < 500
+        assert summary.gap_contrast > 5
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_bursts(Trace(timestamps_us=[0], sizes=[40]))
+
+
+class TestTimerSelectionBias:
+    def test_unbiased_for_systematic(self, minute_trace):
+        idx = SystematicSampler(granularity=50, phase=3).sample_indices(
+            minute_trace
+        )
+        bias = timer_selection_bias(minute_trace, idx)
+        assert bias == pytest.approx(1.0, abs=0.15)
+
+    def test_timer_biased_large(self, minute_trace):
+        sampler = TimerSystematicSampler.for_granularity(minute_trace, 50)
+        idx = sampler.sample_indices(minute_trace)
+        bias = timer_selection_bias(minute_trace, idx)
+        assert bias > 1.5
+
+    def test_validation(self, minute_trace):
+        with pytest.raises(ValueError, match="two packets"):
+            timer_selection_bias(Trace(timestamps_us=[0], sizes=[40]), [0])
+        with pytest.raises(ValueError, match="predecessor"):
+            timer_selection_bias(minute_trace, np.array([0]))

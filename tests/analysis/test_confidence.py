@@ -1,0 +1,149 @@
+"""Confidence intervals for sampled estimates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.confidence import (
+    ConfidenceInterval,
+    mean_interval,
+    wald_interval,
+    wilson_interval,
+)
+
+
+class TestConfidenceInterval:
+    def test_width_and_contains(self):
+        ci = ConfidenceInterval(estimate=0.5, low=0.4, high=0.7, confidence=0.95)
+        assert ci.width == pytest.approx(0.3)
+        assert ci.contains(0.5)
+        assert ci.contains(0.4)
+        assert not ci.contains(0.71)
+
+    def test_must_bracket_estimate(self):
+        with pytest.raises(ValueError, match="bracket"):
+            ConfidenceInterval(estimate=0.9, low=0.1, high=0.5, confidence=0.95)
+
+
+class TestMeanInterval:
+    def test_basic_shape(self, rng):
+        sample = rng.normal(loc=10.0, scale=2.0, size=400)
+        ci = mean_interval(sample)
+        assert ci.contains(float(sample.mean()))
+        # z * s / sqrt(n) ~ 1.96 * 2 / 20 ~ 0.196 half-width.
+        assert ci.width == pytest.approx(
+            2 * 1.96 * sample.std(ddof=1) / 20, rel=1e-3
+        )
+
+    def test_coverage(self):
+        """~95% of intervals cover the true mean."""
+        rng = np.random.default_rng(8)
+        covered = sum(
+            mean_interval(rng.normal(loc=5.0, size=50)).contains(5.0)
+            for _ in range(400)
+        )
+        assert 360 <= covered <= 398
+
+    def test_finite_population_correction_shrinks(self, rng):
+        sample = rng.normal(size=500)
+        plain = mean_interval(sample)
+        corrected = mean_interval(sample, population_size=1000)
+        assert corrected.width < plain.width
+
+    def test_sampling_most_of_population_pins_mean(self, rng):
+        sample = rng.normal(size=999)
+        ci = mean_interval(sample, population_size=1000)
+        assert ci.width < 0.01
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="two observations"):
+            mean_interval([1.0])
+        with pytest.raises(ValueError, match="smaller than"):
+            mean_interval(rng.normal(size=100), population_size=50)
+
+
+class TestProportionIntervals:
+    def test_wald_hand_computed(self):
+        ci = wald_interval(50, 100)
+        assert ci.estimate == 0.5
+        assert ci.low == pytest.approx(0.5 - 1.959964 * 0.05, abs=1e-4)
+
+    def test_wald_collapses_at_zero(self):
+        ci = wald_interval(0, 100)
+        assert ci.width == 0.0  # the classic Wald failure
+
+    def test_wilson_nonzero_at_zero_counts(self):
+        ci = wilson_interval(0, 100)
+        assert ci.low == 0.0
+        assert ci.high > 0.0
+
+    def test_wilson_contains_mle(self):
+        for successes in (0, 1, 17, 50, 99, 100):
+            ci = wilson_interval(successes, 100)
+            assert ci.contains(successes / 100)
+
+    def test_wilson_symmetric_complement(self):
+        a = wilson_interval(30, 100)
+        b = wilson_interval(70, 100)
+        assert a.low == pytest.approx(1.0 - b.high, abs=1e-12)
+        assert a.high == pytest.approx(1.0 - b.low, abs=1e-12)
+
+    def test_wilson_coverage_beats_wald_for_small_p(self):
+        """The reason Wilson exists: rare-port shares."""
+        rng = np.random.default_rng(9)
+        p_true = 0.01
+        n = 200
+        wald_covered = wilson_covered = 0
+        for _ in range(500):
+            successes = int(rng.binomial(n, p_true))
+            wald_covered += wald_interval(successes, n).contains(p_true)
+            wilson_covered += wilson_interval(successes, n).contains(p_true)
+        assert wilson_covered > wald_covered
+        assert wilson_covered >= 450  # near-nominal coverage
+
+    def test_validation(self):
+        for fn in (wald_interval, wilson_interval):
+            with pytest.raises(ValueError):
+                fn(5, 0)
+            with pytest.raises(ValueError):
+                fn(-1, 10)
+            with pytest.raises(ValueError):
+                fn(11, 10)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        successes=st.integers(min_value=0, max_value=500),
+        extra=st.integers(min_value=0, max_value=500),
+    )
+    def test_wilson_within_unit_interval(self, successes, extra):
+        trials = successes + extra
+        if trials == 0:
+            return
+        ci = wilson_interval(successes, trials)
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+
+
+class TestOnSampledTraffic:
+    def test_port_share_interval_covers_truth(self, minute_trace, rng):
+        """End to end: sampled telnet share interval covers the truth."""
+        from repro.analysis.proportions import port_target
+        from repro.core.sampling.simple import SimpleRandomSampler
+
+        target = port_target(ports=(23,))
+        truth = target.proportions(minute_trace)[0]
+        result = SimpleRandomSampler(granularity=50).sample(minute_trace, rng)
+        observed = target.counts(minute_trace, result.indices)
+        ci = wilson_interval(int(observed[0]), int(observed.sum()))
+        assert ci.contains(truth)
+
+    def test_mean_size_interval_covers_truth(self, minute_trace, rng):
+        from repro.core.sampling.stratified import StratifiedRandomSampler
+
+        truth = float(minute_trace.sizes.mean())
+        result = StratifiedRandomSampler(granularity=100).sample(
+            minute_trace, rng
+        )
+        sample = minute_trace.sizes[result.indices].astype(float)
+        ci = mean_interval(sample, population_size=len(minute_trace))
+        assert ci.contains(truth)

@@ -1,0 +1,112 @@
+"""Sampled traffic-matrix assessment."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.matrix import (
+    compare_matrices,
+    matrix_cell_counts,
+)
+from repro.core.sampling.base import SamplingResult
+from repro.core.sampling.simple import SimpleRandomSampler
+from repro.core.sampling.systematic import SystematicSampler
+from repro.trace.trace import Trace
+
+
+def result_for(trace, indices):
+    return SamplingResult(
+        indices=np.asarray(indices, dtype=np.int64),
+        population_size=len(trace),
+        method="manual",
+        parameters={},
+    )
+
+
+class TestCellCounts:
+    def test_population_counts(self, tiny_trace):
+        cells = matrix_cell_counts(tiny_trace)
+        assert cells[(1, 1001)] == 6
+        assert cells[(2, 1002)] == 2
+        assert cells[(3, 1003)] == 1
+        assert cells[(4, 1004)] == 1
+
+    def test_subset_counts(self, tiny_trace):
+        cells = matrix_cell_counts(tiny_trace, indices=np.array([0, 2]))
+        assert cells == {(1, 1001): 1, (2, 1002): 1}
+
+    def test_empty(self):
+        assert matrix_cell_counts(Trace.empty()) == {}
+
+
+class TestComparison:
+    def test_full_sample_is_exact(self, tiny_trace):
+        result = result_for(tiny_trace, np.arange(10))
+        comparison = compare_matrices(tiny_trace, result)
+        assert comparison.coverage == 1.0
+        assert comparison.total_relative_error == 0.0
+        assert comparison.scaled_l1_cost == 0.0
+        assert comparison.top_k_overlap == 1.0
+
+    def test_half_sample_coverage(self, tiny_trace):
+        result = result_for(tiny_trace, [0, 1, 8, 9])  # only pair (1,1001)
+        comparison = compare_matrices(tiny_trace, result)
+        assert comparison.sampled_pairs == 1
+        assert comparison.coverage == pytest.approx(0.25)
+
+    def test_scale_up_error(self, tiny_trace):
+        # 5 of 10 packets sampled: estimated total = 10, exact.
+        result = result_for(tiny_trace, [0, 2, 4, 6, 8])
+        comparison = compare_matrices(tiny_trace, result)
+        assert comparison.total_relative_error == 0.0
+
+    def test_small_cell_fraction(self, tiny_trace):
+        # At fraction 0.5, a pair needs >= 10 population packets for 5
+        # expected sample counts; all four pairs are below that.
+        result = result_for(tiny_trace, [0, 2, 4, 6, 8])
+        comparison = compare_matrices(tiny_trace, result)
+        assert comparison.small_cell_fraction == 1.0
+
+    def test_summary_renders(self, tiny_trace):
+        result = result_for(tiny_trace, [0, 2, 4, 6, 8])
+        text = compare_matrices(tiny_trace, result).summary()
+        assert "coverage" in text
+        assert "chi2 validity" in text
+
+    def test_validation(self, tiny_trace):
+        result = result_for(tiny_trace, [0])
+        with pytest.raises(ValueError, match="top_k"):
+            compare_matrices(tiny_trace, result, top_k=0)
+        empty = result_for(tiny_trace, [])
+        with pytest.raises(ValueError, match="empty"):
+            compare_matrices(tiny_trace, empty)
+
+
+class TestOnSyntheticTraffic:
+    """Section 8's prediction, quantified."""
+
+    def test_sampling_misses_small_pairs(self, five_minute_trace, rng):
+        result = SystematicSampler(granularity=100).sample(five_minute_trace)
+        comparison = compare_matrices(five_minute_trace, result)
+        # Many pairs are tiny: coverage is visibly below 1 while the
+        # total estimate is accurate.
+        assert comparison.coverage < 0.95
+        assert comparison.total_relative_error < 0.02
+        assert comparison.small_cell_fraction > 0.5
+
+    def test_heavy_pairs_survive_sampling(self, five_minute_trace, rng):
+        result = SimpleRandomSampler(granularity=50).sample(
+            five_minute_trace, rng
+        )
+        comparison = compare_matrices(five_minute_trace, result, top_k=5)
+        assert comparison.top_k_overlap >= 0.6
+
+    def test_coverage_improves_with_fraction(self, five_minute_trace, rng):
+        coarse = compare_matrices(
+            five_minute_trace,
+            SystematicSampler(granularity=1000).sample(five_minute_trace),
+        )
+        fine = compare_matrices(
+            five_minute_trace,
+            SystematicSampler(granularity=10).sample(five_minute_trace),
+        )
+        assert fine.coverage > coarse.coverage

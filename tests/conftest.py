@@ -1,0 +1,48 @@
+"""Shared fixtures.
+
+The expensive synthetic traces are session-scoped: the calibrated
+generator is deterministic for a given seed, so every test sees the
+same population.
+"""
+
+import numpy as np
+import pytest
+
+from repro.trace.trace import Trace
+from repro.workload.generator import nsfnet_hour_trace
+
+
+@pytest.fixture(scope="session")
+def minute_trace() -> Trace:
+    """One synthetic minute (~25k packets), clock-quantized."""
+    return nsfnet_hour_trace(seed=101, duration_s=60)
+
+
+@pytest.fixture(scope="session")
+def five_minute_trace() -> Trace:
+    """Five synthetic minutes (~128k packets), clock-quantized."""
+    return nsfnet_hour_trace(seed=202, duration_s=300)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def tiny_trace() -> Trace:
+    """Ten handcrafted packets with fully known fields.
+
+    Timestamps are 1000 us apart except for a burst (packets 4-6 are
+    100 us apart), sizes alternate 40/552 with one 1500 and one 28.
+    """
+    return Trace(
+        timestamps_us=[0, 1000, 2000, 3000, 3100, 3200, 4200, 5200, 6200, 7200],
+        sizes=[40, 552, 40, 552, 40, 1500, 28, 552, 40, 552],
+        protocols=[6, 6, 6, 6, 6, 6, 1, 17, 6, 6],
+        src_nets=[1, 1, 2, 2, 1, 1, 3, 4, 1, 1],
+        dst_nets=[1001, 1001, 1002, 1002, 1001, 1001, 1003, 1004, 1001, 1001],
+        src_ports=[1024, 1024, 1025, 1025, 1024, 1024, 0, 1026, 1024, 1024],
+        dst_ports=[23, 23, 20, 20, 23, 23, 0, 53, 23, 23],
+    )

@@ -1,0 +1,122 @@
+"""Load-adaptive systematic sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling.adaptive import AdaptiveSystematic
+from repro.trace.trace import Trace
+
+
+def trace_with_rates(rates, gap_jitter=None):
+    """One packet stream with the given per-second packet counts."""
+    chunks = []
+    for second, rate in enumerate(rates):
+        chunks.append(
+            second * 1_000_000
+            + np.linspace(0, 999_999, rate).astype(np.int64)
+        )
+    ts = np.concatenate(chunks)
+    return Trace(timestamps_us=ts, sizes=[100] * len(ts))
+
+
+class TestGranularityControl:
+    def test_granularity_for_rate(self):
+        sampler = AdaptiveSystematic(target_pps=10)
+        assert sampler.granularity_for_rate(5) == 1
+        assert sampler.granularity_for_rate(10) == 1
+        assert sampler.granularity_for_rate(100) == 10
+        assert sampler.granularity_for_rate(1001) == 101
+
+    def test_max_granularity_cap(self):
+        sampler = AdaptiveSystematic(target_pps=1, max_granularity=100)
+        assert sampler.granularity_for_rate(10**9) == 100
+
+    def test_adapts_to_load_change(self):
+        trace = trace_with_rates([100] * 5 + [1000] * 5)
+        sampler = AdaptiveSystematic(target_pps=10, initial_granularity=10)
+        result = sampler.sample(trace)
+        # After the load jump the granularity should settle near 100.
+        assert result.granularities[0] == 10
+        assert result.granularities[-1] == 100
+
+    def test_selected_rate_near_target(self):
+        trace = trace_with_rates([100] * 3 + [1000] * 6 + [200] * 3)
+        sampler = AdaptiveSystematic(target_pps=20, initial_granularity=5)
+        result = sampler.sample(trace)
+        selected_rate = result.sample_size / 12
+        # Within a factor accounting for the one-interval control lag.
+        assert 10 < selected_rate < 45
+
+    def test_fixed_rate_equivalent_to_systematic(self):
+        """Under steady load the adaptive sampler settles on one k."""
+        trace = trace_with_rates([500] * 10)
+        sampler = AdaptiveSystematic(target_pps=10, initial_granularity=50)
+        result = sampler.sample(trace)
+        assert set(result.granularities) == {50}
+
+
+class TestEstimation:
+    def test_population_estimate_steady(self):
+        trace = trace_with_rates([500] * 10)
+        sampler = AdaptiveSystematic(target_pps=10, initial_granularity=50)
+        result = sampler.sample(trace)
+        assert result.estimated_population() == pytest.approx(
+            len(trace), rel=0.02
+        )
+
+    def test_population_estimate_bursty(self):
+        trace = trace_with_rates([100, 1000, 100, 2000, 50, 1500])
+        sampler = AdaptiveSystematic(target_pps=25, initial_granularity=4)
+        result = sampler.sample(trace)
+        assert result.estimated_population() == pytest.approx(
+            len(trace), rel=0.15
+        )
+
+    def test_weights_match_granularities(self):
+        trace = trace_with_rates([100] * 2 + [1000] * 2)
+        sampler = AdaptiveSystematic(target_pps=10, initial_granularity=10)
+        result = sampler.sample(trace)
+        assert set(np.unique(result.weights)) == {
+            float(g) for g in set(result.granularities)
+        }
+
+
+class TestEdges:
+    def test_empty_trace(self):
+        result = AdaptiveSystematic(target_pps=10).sample(Trace.empty())
+        assert result.sample_size == 0
+        assert result.granularities == ()
+
+    def test_indices_sorted_and_unique(self):
+        trace = trace_with_rates([300, 800, 100, 900])
+        result = AdaptiveSystematic(target_pps=15, initial_granularity=7).sample(
+            trace
+        )
+        assert np.all(np.diff(result.indices) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSystematic(target_pps=0)
+        with pytest.raises(ValueError):
+            AdaptiveSystematic(target_pps=10, adaptation_interval_s=0)
+        with pytest.raises(ValueError):
+            AdaptiveSystematic(target_pps=10, initial_granularity=0)
+        with pytest.raises(ValueError):
+            AdaptiveSystematic(target_pps=10, max_granularity=0)
+
+    def test_diurnal_day_bounded_and_accurate(self):
+        """The headline use: a full diurnal day under one CPU budget."""
+        from repro.workload.diurnal import nsfnet_day_trace
+
+        trace, _ = nsfnet_day_trace(
+            seed=77, start_hour=22.0, duration_s=4 * 3600, rate_scale=0.1
+        )
+        sampler = AdaptiveSystematic(target_pps=2, initial_granularity=20)
+        result = sampler.sample(trace)
+        # The selected load stays near target across trough and ramp...
+        selected_rate = result.sample_size / (4 * 3600)
+        assert 1.0 < selected_rate < 3.5
+        # ...and the weighted estimate recovers the population.
+        assert result.estimated_population() == pytest.approx(
+            len(trace), rel=0.05
+        )

@@ -1,0 +1,133 @@
+"""Byte-driven systematic sampling (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling.bytedriven import (
+    ByteSystematicSampler,
+    byte_volume_estimate,
+)
+from repro.trace.trace import Trace
+
+
+def sized_trace(sizes):
+    return Trace(
+        timestamps_us=np.arange(len(sizes)) * 1000, sizes=list(sizes)
+    )
+
+
+class TestSelection:
+    def test_explicit_small_case(self):
+        # Sizes 100, 100, 200: byte stream 0..399, stride 150 with
+        # phase 0 -> points at 0, 150, 300 -> packets 0, 1, 2.
+        trace = sized_trace([100, 100, 200])
+        idx = ByteSystematicSampler(byte_granularity=150).sample_indices(trace)
+        assert idx.tolist() == [0, 1, 2]
+
+    def test_large_packet_deduplicated(self):
+        # One 1000-byte packet, stride 100: ten points, one packet.
+        trace = sized_trace([1000, 40])
+        idx = ByteSystematicSampler(byte_granularity=100).sample_indices(trace)
+        assert 0 in idx.tolist()
+        assert len(idx) <= 2
+
+    def test_phase_shifts_selection(self):
+        trace = sized_trace([100] * 50)
+        a = ByteSystematicSampler(byte_granularity=700, phase=0)
+        b = ByteSystematicSampler(byte_granularity=700, phase=350)
+        assert a.sample_indices(trace).tolist() != b.sample_indices(
+            trace
+        ).tolist()
+
+    def test_empty_trace(self):
+        idx = ByteSystematicSampler(byte_granularity=100).sample_indices(
+            Trace.empty()
+        )
+        assert idx.size == 0
+
+    def test_phase_beyond_total_bytes(self):
+        trace = sized_trace([40])
+        sampler = ByteSystematicSampler(byte_granularity=1000, phase=999)
+        assert sampler.sample_indices(trace).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ByteSystematicSampler(byte_granularity=0)
+        with pytest.raises(ValueError):
+            ByteSystematicSampler(byte_granularity=10, phase=10)
+
+
+class TestSizeBias:
+    def test_large_packets_over_represented(self, minute_trace):
+        """The defining property: selection odds scale with size."""
+        sampler = ByteSystematicSampler.for_packet_granularity(
+            minute_trace, 50
+        )
+        idx = sampler.sample_indices(minute_trace)
+        sampled_mean = minute_trace.sizes[idx].mean()
+        population_mean = minute_trace.sizes.mean()
+        # Size-biased mean = E[X^2]/E[X], much larger for the bimodal
+        # population.
+        assert sampled_mean > 1.5 * population_mean
+
+    def test_expected_sample_size_matches_packet_method(self, minute_trace):
+        sampler = ByteSystematicSampler.for_packet_granularity(
+            minute_trace, 50
+        )
+        idx = sampler.sample_indices(minute_trace)
+        nominal = len(minute_trace) / 50
+        # Dedup of multi-hit jumbo packets keeps it at or below nominal.
+        assert 0.5 * nominal < idx.size <= nominal * 1.05
+
+
+class TestByteVolumeEstimation:
+    def test_total_volume_unbiased(self, minute_trace):
+        sampler = ByteSystematicSampler(byte_granularity=10_000)
+        _idx, multiplicity = sampler.sample_with_multiplicity(minute_trace)
+        estimate = byte_volume_estimate(multiplicity, 10_000)
+        assert estimate == pytest.approx(minute_trace.total_bytes, rel=0.01)
+
+    def test_per_customer_attribution(self, minute_trace):
+        """Byte-driven attribution pins each network's byte share."""
+        sampler = ByteSystematicSampler(byte_granularity=5_000)
+        idx, multiplicity = sampler.sample_with_multiplicity(minute_trace)
+        nets = minute_trace.src_nets[idx]
+        sizes = minute_trace.sizes.astype(np.int64)
+        checked = 0
+        for net in np.unique(minute_trace.src_nets):
+            truth = int(sizes[minute_trace.src_nets == net].sum())
+            if truth < 500_000:
+                continue  # few selection points -> noisy estimate
+            estimate = byte_volume_estimate(multiplicity[nets == net], 5_000)
+            assert estimate == pytest.approx(truth, rel=0.15)
+            checked += 1
+        assert checked >= 2
+
+    def test_multiplicities_align_with_indices(self, minute_trace):
+        sampler = ByteSystematicSampler(byte_granularity=2_000)
+        idx, multiplicity = sampler.sample_with_multiplicity(minute_trace)
+        assert idx.shape == multiplicity.shape
+        assert multiplicity.min() >= 1
+        # Multi-hit packets are exactly those larger than the stride
+        # (plus boundary cases one smaller).
+        big = minute_trace.sizes[idx] > 2_000
+        assert np.all(multiplicity[big] >= 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            byte_volume_estimate(np.array([1]), 0)
+
+
+class TestForPacketGranularity:
+    def test_stride_is_granularity_times_mean(self, minute_trace):
+        sampler = ByteSystematicSampler.for_packet_granularity(
+            minute_trace, 10
+        )
+        expected = 10 * minute_trace.total_bytes / len(minute_trace)
+        assert sampler.byte_granularity == pytest.approx(expected, rel=0.01)
+
+    def test_validation(self, minute_trace):
+        with pytest.raises(ValueError):
+            ByteSystematicSampler.for_packet_granularity(minute_trace, 0)
+        with pytest.raises(ValueError):
+            ByteSystematicSampler.for_packet_granularity(Trace.empty(), 10)

@@ -1,0 +1,63 @@
+"""Sample scoring against the population."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation.comparison import (
+    population_proportions,
+    score_sample,
+)
+from repro.core.evaluation.targets import (
+    INTERARRIVAL_TARGET,
+    PACKET_SIZE_TARGET,
+)
+from repro.core.sampling.systematic import SystematicSampler
+
+
+class TestPopulationProportions:
+    def test_sums_to_one(self, minute_trace):
+        props = population_proportions(minute_trace, PACKET_SIZE_TARGET)
+        assert props.sum() == pytest.approx(1.0)
+        assert props.size == 3
+
+    def test_size_population_shape(self, minute_trace):
+        """ACK mode below 41 bytes and bulk mode above 180 dominate."""
+        props = population_proportions(minute_trace, PACKET_SIZE_TARGET)
+        assert props[0] > 0.3  # < 41 bytes
+        assert props[2] > 0.2  # > 180 bytes
+
+
+class TestScoreSample:
+    def test_full_population_sample_is_perfect(self, minute_trace):
+        result = SystematicSampler(granularity=1).sample(minute_trace)
+        score = score_sample(minute_trace, result, PACKET_SIZE_TARGET)
+        assert score.phi == 0.0
+        assert score.scores.chi2 == 0.0
+
+    def test_precomputed_proportions_equivalent(self, minute_trace):
+        result = SystematicSampler(granularity=64).sample(minute_trace)
+        props = population_proportions(minute_trace, PACKET_SIZE_TARGET)
+        a = score_sample(minute_trace, result, PACKET_SIZE_TARGET)
+        b = score_sample(
+            minute_trace, result, PACKET_SIZE_TARGET, proportions=props
+        )
+        assert a.phi == b.phi
+        assert np.array_equal(a.observed, b.observed)
+
+    def test_metadata_recorded(self, minute_trace):
+        result = SystematicSampler(granularity=64, phase=3).sample(minute_trace)
+        score = score_sample(minute_trace, result, PACKET_SIZE_TARGET)
+        assert score.method == "systematic"
+        assert score.target == "packet-size"
+        assert score.parameters["phase"] == 3.0
+        assert score.fraction == result.fraction
+
+    def test_interarrival_sample_size_excludes_first_packet(self, minute_trace):
+        result = SystematicSampler(granularity=1).sample(minute_trace)
+        score = score_sample(minute_trace, result, INTERARRIVAL_TARGET)
+        assert score.sample_size == len(minute_trace) - 1
+
+    def test_reasonable_sample_scores_small_phi(self, minute_trace, rng):
+        result = SystematicSampler(granularity=50).sample(minute_trace)
+        score = score_sample(minute_trace, result, PACKET_SIZE_TARGET)
+        assert 0 <= score.phi < 0.1

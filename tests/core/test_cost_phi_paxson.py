@@ -1,0 +1,114 @@
+"""Cost, relative cost, phi, and Paxson's X2/k metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics.cost import cost, relative_cost
+from repro.core.metrics.paxson import normalized_deviation, x_square
+from repro.core.metrics.phi import phi_coefficient
+
+
+class TestCost:
+    def test_hand_computed(self):
+        # O = [60, 40], E = [50, 50]: cost = 10 + 10 = 20.
+        assert cost([60, 40], [0.5, 0.5]) == pytest.approx(20.0)
+
+    def test_perfect_sample(self):
+        assert cost([50, 50], [0.5, 0.5]) == 0.0
+
+    def test_scale_up_mode(self):
+        # Sample of 100 from population of 1000; scaled O = [600, 400],
+        # population E = [500, 500]: cost = 200.
+        assert cost(
+            [60, 40], [0.5, 0.5], population_size=1000, scale_up=True
+        ) == pytest.approx(200.0)
+
+    def test_scale_up_requires_population(self):
+        with pytest.raises(ValueError, match="population"):
+            cost([60, 40], [0.5, 0.5], scale_up=True)
+
+    def test_scale_up_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            cost([0, 0], [0.5, 0.5], population_size=100, scale_up=True)
+
+
+class TestRelativeCost:
+    def test_discounts_by_fraction(self):
+        base = cost([60, 40], [0.5, 0.5])
+        assert relative_cost([60, 40], [0.5, 0.5], fraction=0.1) == pytest.approx(
+            0.1 * base
+        )
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            relative_cost([60, 40], [0.5, 0.5], fraction=0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            relative_cost([60, 40], [0.5, 0.5], fraction=1.5)
+
+
+class TestPhi:
+    def test_hand_computed(self):
+        # chi2 = 4, n = E + O = 200: phi = sqrt(4/200).
+        assert phi_coefficient([60, 40], [0.5, 0.5]) == pytest.approx(
+            np.sqrt(4.0 / 200.0)
+        )
+
+    def test_perfect_sample_is_zero(self):
+        assert phi_coefficient([30, 30, 40], [0.3, 0.3, 0.4]) == 0.0
+
+    def test_empty_sample_is_zero(self):
+        assert phi_coefficient([0, 0], [0.5, 0.5]) == 0.0
+
+    def test_sample_size_invariance(self):
+        """phi's defining property: scaling the sample leaves it fixed."""
+        small = phi_coefficient([60, 40], [0.5, 0.5])
+        large = phi_coefficient([600, 400], [0.5, 0.5])
+        assert small == pytest.approx(large)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        o1=st.integers(min_value=0, max_value=1000),
+        o2=st.integers(min_value=0, max_value=1000),
+        scale=st.integers(min_value=2, max_value=50),
+    )
+    def test_invariance_property(self, o1, o2, scale):
+        if o1 + o2 == 0:
+            return
+        base = phi_coefficient([o1, o2], [0.5, 0.5])
+        scaled = phi_coefficient([o1 * scale, o2 * scale], [0.5, 0.5])
+        assert base == pytest.approx(scaled, rel=1e-9)
+
+    def test_worst_case_bounded(self):
+        """All mass in a single small-probability bin: phi stays finite."""
+        value = phi_coefficient([100, 0], [0.01, 0.99])
+        assert 0 < value < 10
+
+
+class TestPaxson:
+    def test_x2_hand_computed(self):
+        # O = [60, 40], E = [50, 50]: X2 = (10/50)^2 * 2 = 0.08.
+        assert x_square([60, 40], [0.5, 0.5]) == pytest.approx(0.08)
+
+    def test_x2_sample_size_invariant(self):
+        assert x_square([60, 40], [0.5, 0.5]) == pytest.approx(
+            x_square([600, 400], [0.5, 0.5])
+        )
+
+    def test_k_hand_computed(self):
+        assert normalized_deviation([60, 40], [0.5, 0.5]) == pytest.approx(
+            np.sqrt(0.08 / 2)
+        )
+
+    def test_k_excludes_empty_bins(self):
+        value = normalized_deviation([60, 40, 0], [0.5, 0.5, 0.0])
+        assert value == pytest.approx(np.sqrt(0.08 / 2))
+
+    def test_zero_proportion_bin_with_observations_rejected(self):
+        with pytest.raises(ValueError, match="zero population"):
+            x_square([10, 5], [1.0, 0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="bins"):
+            x_square([1, 2, 3], [0.5, 0.5])

@@ -1,0 +1,122 @@
+"""Estimator-efficiency comparisons (Section 5 theory)."""
+
+import numpy as np
+import pytest
+
+from repro.core.efficiency import (
+    compare_efficiency,
+    linear_trend_population,
+    periodic_population,
+    random_mean_variance,
+    random_population,
+    stratified_mean_variance,
+    systematic_mean_variance,
+)
+
+
+class TestExactVariances:
+    def test_systematic_enumerates_phases(self):
+        # Population 0..7, k=4: phase means are 2, 3, 4, 5.
+        population = np.arange(8, dtype=float)
+        var = systematic_mean_variance(population, 4)
+        assert var == pytest.approx(np.var([2.0, 3.0, 4.0, 5.0]))
+
+    def test_stratified_small_case(self):
+        # Buckets (0..3), (4..7): each pick uniform within its bucket.
+        population = np.arange(8, dtype=float)
+        var = stratified_mean_variance(population, 4)
+        assert var == pytest.approx(np.var([0, 1, 2, 3]) / 2)
+
+    def test_random_fpc_formula(self):
+        population = np.arange(8, dtype=float)
+        var = random_mean_variance(population, 4)
+        s2 = population.var(ddof=1)
+        assert var == pytest.approx(s2 / 2 * (8 - 2) / (8 - 1))
+
+    def test_stratified_matches_monte_carlo(self, rng):
+        population = rng.normal(size=2000)
+        k = 10
+        exact = stratified_mean_variance(population, k)
+        n = population.size // k
+        buckets = population.reshape(n, k)
+        means = [
+            buckets[np.arange(n), rng.integers(0, k, size=n)].mean()
+            for _ in range(4000)
+        ]
+        assert exact == pytest.approx(np.var(means), rel=0.1)
+
+    def test_random_matches_monte_carlo(self, rng):
+        population = rng.normal(size=2000)
+        k = 10
+        exact = random_mean_variance(population, k)
+        n = population.size // k
+        means = [
+            population.take(
+                rng.choice(population.size, size=n, replace=False)
+            ).mean()
+            for _ in range(4000)
+        ]
+        assert exact == pytest.approx(np.var(means), rel=0.1)
+
+
+class TestCochranPredictions:
+    def test_random_order_ties(self):
+        # The systematic variance is estimated from only k phase means,
+        # so a single realization carries ~sqrt(2/(k-1)) noise; average
+        # the relative efficiency over several independent populations.
+        rng = np.random.default_rng(0)
+        ratios_sys, ratios_strat = [], []
+        for _ in range(15):
+            result = compare_efficiency(random_population(64_000, rng), 32)
+            relative = result.relative_to_random()
+            ratios_sys.append(relative["systematic"])
+            ratios_strat.append(relative["stratified"])
+        assert np.mean(ratios_sys) == pytest.approx(1.0, abs=0.2)
+        assert np.mean(ratios_strat) == pytest.approx(1.0, abs=0.05)
+
+    def test_linear_trend_ordering(self):
+        rng = np.random.default_rng(1)
+        result = compare_efficiency(linear_trend_population(100_000, rng), 10)
+        v = result.variances
+        assert v["stratified"] < v["systematic"] < v["random"]
+
+    def test_resonant_periodicity_hurts_systematic(self):
+        rng = np.random.default_rng(2)
+        result = compare_efficiency(
+            periodic_population(100_000, period=10, rng=rng), 10
+        )
+        v = result.variances
+        assert v["systematic"] > 10 * v["random"]
+        assert v["systematic"] > 10 * v["stratified"]
+
+    def test_non_resonant_periodicity_is_fine(self):
+        """A period coprime to the step does not hurt systematic."""
+        rng = np.random.default_rng(3)
+        result = compare_efficiency(
+            periodic_population(100_000, period=7, rng=rng), 10
+        )
+        relative = result.relative_to_random()
+        assert relative["systematic"] < 1.5
+
+
+class TestValidation:
+    def test_bad_granularity(self, rng):
+        with pytest.raises(ValueError, match="granularity"):
+            compare_efficiency(rng.normal(size=100), 1)
+
+    def test_population_too_short(self, rng):
+        with pytest.raises(ValueError):
+            systematic_mean_variance(np.ones(3), 8)
+
+    def test_population_generators_validate(self, rng):
+        with pytest.raises(ValueError):
+            random_population(0, rng)
+        with pytest.raises(ValueError):
+            linear_trend_population(-1, rng)
+        with pytest.raises(ValueError):
+            periodic_population(100, period=1, rng=rng)
+
+    def test_result_metadata(self, rng):
+        result = compare_efficiency(rng.normal(size=1000), 10)
+        assert result.granularity == 10
+        assert result.sample_size == 100

@@ -1,0 +1,148 @@
+"""The parameter-sweep experiment harness."""
+
+import pytest
+
+from repro.core.evaluation.experiment import (
+    ExperimentGrid,
+    PAPER_GRANULARITIES,
+    mean_phi_series,
+    phi_values,
+)
+from repro.core.evaluation.targets import PACKET_SIZE_TARGET
+
+
+@pytest.fixture(scope="module")
+def small_sweep(request):
+    trace = request.getfixturevalue("minute_trace")
+    grid = ExperimentGrid(
+        methods=("systematic", "stratified"),
+        granularities=(8, 64),
+        replications=3,
+        seed=5,
+    )
+    return grid.run(trace)
+
+
+class TestGridStructure:
+    def test_record_count(self, small_sweep):
+        # 2 methods x 2 granularities x 3 replications x 2 targets.
+        assert len(small_sweep) == 24
+
+    def test_paper_granularities_ladder(self):
+        assert PAPER_GRANULARITIES[0] == 2
+        assert PAPER_GRANULARITIES[-1] == 32768
+        assert all(
+            b == 2 * a for a, b in zip(PAPER_GRANULARITIES, PAPER_GRANULARITIES[1:])
+        )
+
+    def test_filtering(self, small_sweep):
+        subset = small_sweep.filter(method="systematic", granularity=8)
+        assert len(subset) == 6  # 3 replications x 2 targets
+        assert all(r.method == "systematic" for r in subset.records)
+
+    def test_phi_values_helper(self, small_sweep):
+        values = phi_values(small_sweep, "packet-size", "systematic", 8)
+        assert len(values) == 3
+        assert all(v >= 0 for v in values)
+
+    def test_mean_phi_series(self, small_sweep):
+        series = mean_phi_series(small_sweep, "packet-size", "systematic")
+        assert set(series) == {8, 64}
+
+    def test_mean_phi_empty_cell_raises(self, small_sweep):
+        with pytest.raises(ValueError, match="no records"):
+            small_sweep.filter(method="random").mean_phi()
+
+    def test_mean_phi_series_rejects_bad_dimension(self, small_sweep):
+        with pytest.raises(ValueError, match="over"):
+            mean_phi_series(small_sweep, "packet-size", "systematic", over="phase")
+
+
+class TestReproducibility:
+    def test_same_seed_same_results(self, minute_trace):
+        grid = ExperimentGrid(
+            methods=("stratified",), granularities=(32,), replications=2, seed=9
+        )
+        a = grid.run(minute_trace)
+        b = grid.run(minute_trace)
+        assert a.phis() == b.phis()
+
+    def test_different_seed_different_results(self, minute_trace):
+        base = dict(methods=("stratified",), granularities=(32,), replications=2)
+        a = ExperimentGrid(seed=1, **base).run(minute_trace)
+        b = ExperimentGrid(seed=2, **base).run(minute_trace)
+        assert a.phis() != b.phis()
+
+
+class TestIntervals:
+    def test_interval_windows(self, minute_trace):
+        grid = ExperimentGrid(
+            methods=("systematic",),
+            granularities=(16,),
+            intervals_us=(4_000_000, 16_000_000),
+            replications=2,
+            seed=3,
+            targets=(PACKET_SIZE_TARGET,),
+        )
+        result = grid.run(minute_trace)
+        intervals = {r.interval_us for r in result.records}
+        assert intervals == {4_000_000, 16_000_000}
+
+    def test_score_against_full(self, minute_trace):
+        grid = ExperimentGrid(
+            methods=("systematic",),
+            granularities=(16,),
+            intervals_us=(4_000_000,),
+            replications=2,
+            seed=3,
+            score_against="full",
+            targets=(PACKET_SIZE_TARGET,),
+        )
+        result = grid.run(minute_trace)
+        assert len(result) == 2
+
+    def test_timer_methods_adapt_period_per_window(self, minute_trace):
+        """Timer samplers must derive their period from each window,
+        not from the full trace, so the nominal fraction holds within
+        every interval."""
+        grid = ExperimentGrid(
+            methods=("timer-systematic",),
+            granularities=(32,),
+            intervals_us=(10_000_000, 40_000_000),
+            replications=1,
+            seed=6,
+            targets=(PACKET_SIZE_TARGET,),
+        )
+        result = grid.run(minute_trace)
+        for record in result.records:
+            assert record.score.fraction == pytest.approx(1 / 32, rel=0.15)
+
+    def test_interval_beyond_trace_equals_full(self, minute_trace):
+        base = dict(
+            methods=("systematic",),
+            granularities=(16,),
+            replications=1,
+            seed=3,
+            targets=(PACKET_SIZE_TARGET,),
+        )
+        huge = ExperimentGrid(intervals_us=(10**12,), **base).run(minute_trace)
+        full = ExperimentGrid(intervals_us=(None,), **base).run(minute_trace)
+        assert huge.phis() == pytest.approx(full.phis())
+
+
+class TestValidation:
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ExperimentGrid(methods=("bogus",))
+
+    def test_bad_replications(self):
+        with pytest.raises(ValueError, match="replication"):
+            ExperimentGrid(replications=0)
+
+    def test_bad_score_against(self):
+        with pytest.raises(ValueError, match="score_against"):
+            ExperimentGrid(score_against="window")
+
+    def test_bad_granularity(self):
+        with pytest.raises(ValueError, match="granularities"):
+            ExperimentGrid(granularities=(0,))

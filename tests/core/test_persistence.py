@@ -1,0 +1,76 @@
+"""Experiment CSV round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation.experiment import ExperimentGrid, mean_phi_series
+from repro.core.evaluation.persistence import load_result, save_result
+
+
+@pytest.fixture(scope="module")
+def sweep(request):
+    trace = request.getfixturevalue("minute_trace")
+    grid = ExperimentGrid(
+        methods=("systematic", "timer-systematic"),
+        granularities=(16, 128),
+        intervals_us=(None, 20_000_000),
+        replications=2,
+        seed=17,
+    )
+    return grid.run(trace)
+
+
+class TestRoundtrip:
+    def test_record_count_preserved(self, sweep, tmp_path):
+        path = str(tmp_path / "sweep.csv")
+        save_result(sweep, path)
+        reloaded = load_result(path)
+        assert len(reloaded) == len(sweep)
+
+    def test_phi_values_exact(self, sweep, tmp_path):
+        path = str(tmp_path / "sweep.csv")
+        save_result(sweep, path)
+        reloaded = load_result(path)
+        assert reloaded.phis() == sweep.phis()
+
+    def test_all_metrics_exact(self, sweep, tmp_path):
+        path = str(tmp_path / "sweep.csv")
+        save_result(sweep, path)
+        reloaded = load_result(path)
+        for original, restored in zip(sweep.records, reloaded.records):
+            assert original.score.scores == restored.score.scores
+            assert np.array_equal(
+                original.score.observed, restored.score.observed
+            )
+
+    def test_coordinates_preserved(self, sweep, tmp_path):
+        path = str(tmp_path / "sweep.csv")
+        save_result(sweep, path)
+        reloaded = load_result(path)
+        for original, restored in zip(sweep.records, reloaded.records):
+            assert original.target == restored.target
+            assert original.method == restored.method
+            assert original.granularity == restored.granularity
+            assert original.interval_us == restored.interval_us
+            assert original.replication == restored.replication
+
+    def test_aggregations_work_on_reloaded(self, sweep, tmp_path):
+        path = str(tmp_path / "sweep.csv")
+        save_result(sweep, path)
+        reloaded = load_result(path)
+        original_series = mean_phi_series(sweep, "packet-size", "systematic")
+        restored_series = mean_phi_series(reloaded, "packet-size", "systematic")
+        assert original_series == restored_series
+
+    def test_empty_result_roundtrips(self, tmp_path):
+        from repro.core.evaluation.experiment import ExperimentResult
+
+        path = str(tmp_path / "empty.csv")
+        save_result(ExperimentResult(records=()), path)
+        assert len(load_result(path)) == 0
+
+    def test_non_experiment_csv_rejected(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_result(str(path))

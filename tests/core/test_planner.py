@@ -1,0 +1,102 @@
+"""Sampling-configuration recommendation."""
+
+import pytest
+
+from repro.core.evaluation.experiment import ExperimentGrid
+from repro.core.evaluation.planner import (
+    recommend_configuration,
+    worst_target_phi,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(request):
+    trace = request.getfixturevalue("five_minute_trace")
+    grid = ExperimentGrid(
+        methods=("systematic", "stratified", "timer-systematic"),
+        granularities=(8, 64, 512),
+        replications=3,
+        seed=23,
+    )
+    return grid.run(trace)
+
+
+class TestRecommendation:
+    def test_packet_methods_feasible_timer_not(self, sweep):
+        plan = recommend_configuration(sweep, phi_budget=0.05)
+        assert plan.methods["systematic"].feasible
+        assert plan.methods["stratified"].feasible
+        assert not plan.methods["timer-systematic"].feasible
+
+    def test_coarsest_feasible_chosen(self, sweep):
+        generous = recommend_configuration(sweep, phi_budget=0.5)
+        # With a huge budget every granularity qualifies; the plan
+        # takes the coarsest.
+        assert generous.methods["systematic"].granularity == 512
+
+    def test_budget_monotonicity(self, sweep):
+        tight = recommend_configuration(sweep, phi_budget=0.01)
+        loose = recommend_configuration(sweep, phi_budget=0.2)
+        for method in ("systematic", "stratified"):
+            tight_plan = tight.methods[method]
+            loose_plan = loose.methods[method]
+            if tight_plan.feasible:
+                assert loose_plan.feasible
+                assert loose_plan.granularity >= tight_plan.granularity
+
+    def test_best_is_coarsest_overall(self, sweep):
+        plan = recommend_configuration(sweep, phi_budget=0.05)
+        assert plan.best is not None
+        assert plan.best.granularity == max(
+            p.granularity for p in plan.methods.values() if p.feasible
+        )
+
+    def test_impossible_budget(self, sweep):
+        plan = recommend_configuration(sweep, phi_budget=1e-9)
+        assert plan.best is None
+        assert all(not p.feasible for p in plan.methods.values())
+
+    def test_single_target_enforcement(self, sweep):
+        size_only = recommend_configuration(
+            sweep, phi_budget=0.05, targets=("packet-size",)
+        )
+        both = recommend_configuration(sweep, phi_budget=0.05)
+        # Enforcing fewer targets can only loosen the plan.
+        for method, plan in both.methods.items():
+            if plan.feasible:
+                assert size_only.methods[method].feasible
+                assert (
+                    size_only.methods[method].granularity >= plan.granularity
+                )
+
+    def test_summary_renders(self, sweep):
+        text = recommend_configuration(sweep, phi_budget=0.05).summary()
+        assert "phi budget" in text
+        assert "cheapest" in text or "no configuration" in text
+
+    def test_worst_target_phi(self, sweep):
+        worst = worst_target_phi(
+            sweep, "systematic", 64, ("packet-size", "interarrival")
+        )
+        size_phi = sweep.filter(
+            target="packet-size", method="systematic", granularity=64
+        ).mean_phi()
+        assert worst >= size_phi
+
+
+class TestValidation:
+    def test_bad_budget(self, sweep):
+        with pytest.raises(ValueError, match="budget"):
+            recommend_configuration(sweep, phi_budget=0.0)
+
+    def test_unknown_target(self, sweep):
+        with pytest.raises(ValueError, match="not in the sweep"):
+            recommend_configuration(sweep, phi_budget=0.1, targets=("bogus",))
+
+    def test_empty_sweep(self):
+        from repro.core.evaluation.experiment import ExperimentResult
+
+        with pytest.raises(ValueError, match="no records"):
+            recommend_configuration(
+                ExperimentResult(records=()), phi_budget=0.1
+            )

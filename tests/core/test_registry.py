@@ -1,0 +1,40 @@
+"""Joint metric evaluation coherence."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics.registry import METRIC_NAMES, DisparityScores, evaluate_all
+
+
+class TestEvaluateAll:
+    @pytest.fixture()
+    def scores(self) -> DisparityScores:
+        return evaluate_all([60, 40], [0.5, 0.5], fraction=0.1)
+
+    def test_internal_consistency(self, scores):
+        # phi^2 * n == chi2 with n = 2 * sample size.
+        n = 2 * scores.sample_size
+        assert scores.phi**2 * n == pytest.approx(scores.chi2)
+        # rcost = fraction * cost.
+        assert scores.rcost == pytest.approx(scores.fraction * scores.cost)
+        # k = sqrt(X2 / B).
+        assert scores.k == pytest.approx(np.sqrt(scores.x2 / 2))
+
+    def test_one_minus_significance(self, scores):
+        assert scores.one_minus_significance == pytest.approx(
+            1.0 - scores.significance
+        )
+
+    def test_as_dict_covers_metric_names(self, scores):
+        assert set(scores.as_dict()) == set(METRIC_NAMES)
+
+    def test_sample_size_recorded(self, scores):
+        assert scores.sample_size == 100
+
+    def test_perfect_sample_all_zero(self):
+        scores = evaluate_all([50, 50], [0.5, 0.5], fraction=0.5)
+        assert scores.chi2 == 0.0
+        assert scores.phi == 0.0
+        assert scores.cost == 0.0
+        assert scores.x2 == 0.0
+        assert scores.significance == 1.0

@@ -1,0 +1,129 @@
+"""Table/series text rendering."""
+
+import pytest
+
+from repro.core.evaluation.report import (
+    format_histogram_table,
+    format_series_table,
+)
+
+
+class TestSeriesTable:
+    def test_basic_layout(self):
+        text = format_series_table(
+            "title",
+            "1/x",
+            {"systematic": {2: 0.01, 4: 0.02}, "random": {2: 0.015}},
+        )
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "systematic" in lines[2]
+        assert "random" in lines[2]
+        assert text.count("\n") >= 5
+
+    def test_union_of_x_values(self):
+        text = format_series_table(
+            "t", "x", {"a": {1: 0.1}, "b": {2: 0.2}}
+        )
+        assert "1 " in text
+        assert "2 " in text
+
+    def test_missing_cells_blank(self):
+        text = format_series_table("t", "x", {"a": {1: 0.5}, "b": {}})
+        row = [l for l in text.splitlines() if l.startswith("1")][0]
+        assert "0.5000" in row
+
+    def test_custom_format(self):
+        text = format_series_table(
+            "t", "x", {"a": {1: 0.123456}}, value_format="%.2f"
+        )
+        assert "0.12" in text
+        assert "0.1235" not in text
+
+
+class TestBoxplotRendering:
+    @pytest.fixture()
+    def boxes(self):
+        from repro.stats.boxplot import boxplot_stats
+
+        return {
+            "fine": boxplot_stats([0.01, 0.012, 0.013, 0.02]),
+            "coarse": boxplot_stats([0.1, 0.2, 0.3, 0.4, 0.9]),
+        }
+
+    def test_layout(self, boxes):
+        from repro.core.evaluation.report import format_boxplots
+
+        text = format_boxplots("title", boxes)
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert len(lines) == 2 + len(boxes)
+        assert lines[2].startswith("fine")
+
+    def test_glyphs_present(self, boxes):
+        from repro.core.evaluation.report import format_boxplots
+
+        text = format_boxplots("t", boxes)
+        coarse_row = [l for l in text.splitlines() if l.startswith("coarse")][0]
+        assert "[" in coarse_row and "]" in coarse_row
+        assert ":" in coarse_row
+        assert "|" in coarse_row
+
+    def test_shared_scale(self, boxes):
+        from repro.core.evaluation.report import format_boxplots
+
+        text = format_boxplots("t", boxes, width=40)
+        fine_row = [l for l in text.splitlines() if l.startswith("fine")][0]
+        coarse_row = [l for l in text.splitlines() if l.startswith("coarse")][0]
+        # The fine box collapses near the left edge on the shared axis.
+        assert fine_row.rstrip()[-1] != "]"
+        assert len(coarse_row.rstrip()) > len(fine_row.rstrip())
+
+    def test_outliers_marked(self):
+        from repro.core.evaluation.report import format_boxplots
+        from repro.stats.boxplot import boxplot_stats
+
+        box = boxplot_stats([1, 2, 3, 4, 100])
+        text = format_boxplots("t", {"x": box})
+        assert "o" in text
+
+    def test_validation(self, boxes):
+        from repro.core.evaluation.report import format_boxplots
+
+        with pytest.raises(ValueError, match="columns"):
+            format_boxplots("t", boxes, width=5)
+        with pytest.raises(ValueError, match="no boxplots"):
+            format_boxplots("t", {})
+
+    def test_degenerate_all_zero(self):
+        from repro.core.evaluation.report import format_boxplots
+        from repro.stats.boxplot import boxplot_stats
+
+        text = format_boxplots("t", {"z": boxplot_stats([0.0, 0.0])})
+        assert "z" in text
+
+
+class TestHistogramTable:
+    def test_basic_layout(self):
+        text = format_histogram_table(
+            "hist",
+            labels=("< 41", "41-180", ">= 181"),
+            rows={"1/4": [0.5, 0.2, 0.3]},
+        )
+        assert "< 41" in text
+        assert "1/4" in text
+        assert "0.5000" in text
+
+    def test_phi_column(self):
+        text = format_histogram_table(
+            "hist",
+            labels=("a", "b"),
+            rows={"x": [0.5, 0.5]},
+            phi_scores={"x": 0.042},
+        )
+        assert "phi" in text
+        assert "0.0420" in text
+
+    def test_cell_count_validated(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_histogram_table("h", labels=("a", "b"), rows={"x": [0.5]})

@@ -1,0 +1,91 @@
+"""Cochran sample sizes — including the paper's worked examples."""
+
+import pytest
+
+from repro.core.samplesize import (
+    plan_for_population,
+    required_sample_size,
+    z_value,
+)
+
+
+class TestPaperNumbers:
+    """Section 5.1's four closed-form results, to rounding."""
+
+    def test_packet_size_5_percent(self):
+        assert required_sample_size(232, 236, 5) in (1590, 1591)
+
+    def test_packet_size_1_percent(self):
+        assert abs(required_sample_size(232, 236, 1) - 39752) <= 2
+
+    def test_interarrival_5_percent(self):
+        assert abs(required_sample_size(2358, 2734, 5) - 2066) <= 2
+
+    def test_interarrival_1_percent(self):
+        assert abs(required_sample_size(2358, 2734, 1) - 51644) <= 2
+
+    def test_sampling_fraction_remark(self):
+        """1590 of 1.6 million is ~0.10% (the paper's remark)."""
+        plan = plan_for_population(232, 236, 1_600_000, 5)
+        assert plan.sampling_fraction == pytest.approx(0.001, rel=0.05)
+
+
+class TestZValue:
+    def test_95_percent(self):
+        assert z_value(0.95) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_99_percent(self):
+        assert z_value(0.99) == pytest.approx(2.575829, abs=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            z_value(0.0)
+        with pytest.raises(ValueError):
+            z_value(1.0)
+
+
+class TestFormula:
+    def test_scales_inverse_square_accuracy(self):
+        n5 = required_sample_size(100, 50, 5)
+        n1 = required_sample_size(100, 50, 1)
+        assert n1 == pytest.approx(25 * n5, rel=0.01)
+
+    def test_scales_with_cv_squared(self):
+        low_cv = required_sample_size(100, 50, 5)
+        high_cv = required_sample_size(100, 100, 5)
+        assert high_cv == pytest.approx(4 * low_cv, rel=0.01)
+
+    def test_finite_population_correction(self):
+        infinite = required_sample_size(232, 236, 1)
+        corrected = required_sample_size(232, 236, 1, population_size=100_000)
+        assert corrected < infinite
+        # FPC: n' = n / (1 + (n-1)/N).
+        expected = infinite / (1 + (infinite - 1) / 100_000)
+        assert corrected == pytest.approx(expected, abs=1.5)
+
+    def test_zero_std_means_one_sample(self):
+        assert required_sample_size(100, 0, 5) >= 0
+        assert required_sample_size(100, 0, 5) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_sample_size(0, 10, 5)
+        with pytest.raises(ValueError):
+            required_sample_size(100, -1, 5)
+        with pytest.raises(ValueError):
+            required_sample_size(100, 10, 0)
+
+
+class TestPlan:
+    def test_granularity(self):
+        plan = plan_for_population(232, 236, 1_600_000, 5)
+        assert plan.granularity == int(1_600_000 / plan.required_samples)
+
+    def test_required_exceeding_population(self):
+        plan = plan_for_population(100, 500, 50, 1)
+        assert plan.sampling_fraction == 1.0
+        assert plan.granularity == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_for_population(232, 236, 0, 5)

@@ -1,0 +1,87 @@
+"""SamplingResult contract and Sampler protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling.base import Sampler, SamplingResult
+
+
+def make_result(indices, population=10):
+    return SamplingResult(
+        indices=np.asarray(indices, dtype=np.int64),
+        population_size=population,
+        method="test",
+        parameters={},
+    )
+
+
+class TestSamplingResult:
+    def test_sample_size_and_fraction(self):
+        result = make_result([0, 5, 9])
+        assert result.sample_size == 3
+        assert result.fraction == pytest.approx(0.3)
+
+    def test_empty_sample(self):
+        result = make_result([])
+        assert result.sample_size == 0
+        assert result.fraction == 0.0
+
+    def test_empty_population(self):
+        result = SamplingResult(
+            indices=np.empty(0, dtype=np.int64),
+            population_size=0,
+            method="test",
+            parameters={},
+        )
+        assert result.fraction == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            make_result([10])
+        with pytest.raises(ValueError, match="range"):
+            make_result([-1])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            make_result([5, 2])
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            SamplingResult(
+                indices=np.zeros((2, 2), dtype=np.int64),
+                population_size=10,
+                method="test",
+                parameters={},
+            )
+
+    def test_apply(self, tiny_trace):
+        result = make_result([0, 5])
+        sub = result.apply(tiny_trace)
+        assert len(sub) == 2
+        assert sub.sizes[1] == 1500
+
+    def test_apply_wrong_population(self, tiny_trace):
+        result = make_result([0], population=99)
+        with pytest.raises(ValueError, match="drawn from"):
+            result.apply(tiny_trace)
+
+
+class TestSamplerProtocol:
+    def test_abstract_sampler_raises(self, tiny_trace):
+        with pytest.raises(NotImplementedError):
+            Sampler().sample_indices(tiny_trace)
+
+    def test_repr_shows_parameters(self):
+        from repro.core.sampling.systematic import SystematicSampler
+
+        text = repr(SystematicSampler(granularity=50, phase=3))
+        assert "granularity=50" in text
+        assert "phase=3" in text
+
+    def test_sample_wraps_result(self, tiny_trace):
+        from repro.core.sampling.systematic import SystematicSampler
+
+        result = SystematicSampler(granularity=2).sample(tiny_trace)
+        assert result.method == "systematic"
+        assert result.population_size == 10
+        assert result.parameters["granularity"] == 2.0

@@ -1,0 +1,75 @@
+"""Simple random sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling.simple import SimpleRandomSampler
+from repro.trace.trace import Trace
+
+
+class TestSelection:
+    def test_sample_size_matches_granularity(self, minute_trace, rng):
+        idx = SimpleRandomSampler(granularity=50).sample_indices(
+            minute_trace, rng
+        )
+        assert idx.size == -(-len(minute_trace) // 50)
+
+    def test_no_replacement(self, tiny_trace, rng):
+        idx = SimpleRandomSampler(granularity=2).sample_indices(tiny_trace, rng)
+        assert len(np.unique(idx)) == len(idx)
+
+    def test_sorted_output(self, minute_trace, rng):
+        idx = SimpleRandomSampler(granularity=100).sample_indices(
+            minute_trace, rng
+        )
+        assert np.all(np.diff(idx) > 0)
+
+    def test_granularity_one_selects_all(self, tiny_trace, rng):
+        idx = SimpleRandomSampler(granularity=1).sample_indices(tiny_trace, rng)
+        assert list(idx) == list(range(10))
+
+    def test_empty_trace(self, rng):
+        idx = SimpleRandomSampler(granularity=4).sample_indices(
+            Trace.empty(), rng
+        )
+        assert idx.size == 0
+
+    def test_default_rng_when_none(self, tiny_trace):
+        assert SimpleRandomSampler(granularity=5).sample_indices(tiny_trace).size == 2
+
+    def test_approximately_uniform(self):
+        """Selection frequency should be flat over the population."""
+        n = 200
+        trace = Trace(timestamps_us=np.arange(n) * 1000, sizes=[40] * n)
+        rng = np.random.default_rng(5)
+        hits = np.zeros(n)
+        sampler = SimpleRandomSampler(granularity=4)
+        for _ in range(2000):
+            hits[sampler.sample_indices(trace, rng)] += 1
+        expected = 2000 * 50 / 200
+        assert hits.min() > expected * 0.7
+        assert hits.max() < expected * 1.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="granularity"):
+            SimpleRandomSampler(granularity=0)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=500),
+        k=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_size_uniqueness_and_range(self, n, k, seed):
+        trace = Trace(timestamps_us=np.arange(n) * 1000, sizes=[40] * n)
+        idx = SimpleRandomSampler(granularity=k).sample_indices(
+            trace, np.random.default_rng(seed)
+        )
+        assert idx.size == (0 if n == 0 else -(-n // k))
+        assert len(np.unique(idx)) == idx.size
+        if idx.size:
+            assert idx.min() >= 0 and idx.max() < n

@@ -1,0 +1,79 @@
+"""Stratified random (one per bucket) sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling.stratified import StratifiedRandomSampler
+from repro.trace.trace import Trace
+
+
+class TestSelection:
+    def test_one_per_bucket(self, tiny_trace, rng):
+        idx = StratifiedRandomSampler(granularity=5).sample_indices(
+            tiny_trace, rng
+        )
+        assert idx.size == 2
+        assert 0 <= idx[0] < 5
+        assert 5 <= idx[1] < 10
+
+    def test_partial_final_bucket(self, rng):
+        trace = Trace(timestamps_us=np.arange(7) * 1000, sizes=[40] * 7)
+        idx = StratifiedRandomSampler(granularity=5).sample_indices(trace, rng)
+        assert idx.size == 2
+        assert 5 <= idx[1] < 7
+
+    def test_granularity_one_selects_all(self, tiny_trace, rng):
+        idx = StratifiedRandomSampler(granularity=1).sample_indices(
+            tiny_trace, rng
+        )
+        assert list(idx) == list(range(10))
+
+    def test_empty_trace(self, rng):
+        idx = StratifiedRandomSampler(granularity=4).sample_indices(
+            Trace.empty(), rng
+        )
+        assert idx.size == 0
+
+    def test_randomness_varies(self, minute_trace):
+        sampler = StratifiedRandomSampler(granularity=64)
+        a = sampler.sample_indices(minute_trace, np.random.default_rng(1))
+        b = sampler.sample_indices(minute_trace, np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_default_rng_when_none(self, tiny_trace):
+        idx = StratifiedRandomSampler(granularity=5).sample_indices(tiny_trace)
+        assert idx.size == 2
+
+    def test_uniform_within_bucket(self):
+        """Offsets should be uniform over the bucket, including its ends."""
+        trace = Trace(timestamps_us=np.arange(8) * 1000, sizes=[40] * 8)
+        rng = np.random.default_rng(3)
+        sampler = StratifiedRandomSampler(granularity=8)
+        picks = [int(sampler.sample_indices(trace, rng)[0]) for _ in range(4000)]
+        counts = np.bincount(picks, minlength=8)
+        assert counts.min() > 0
+        assert counts.max() / counts.min() < 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="granularity"):
+            StratifiedRandomSampler(granularity=0)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=400),
+        k=st.integers(min_value=1, max_value=50),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_one_index_per_bucket(self, n, k, seed):
+        trace = Trace(timestamps_us=np.arange(n) * 1000, sizes=[40] * n)
+        idx = StratifiedRandomSampler(granularity=k).sample_indices(
+            trace, np.random.default_rng(seed)
+        )
+        expected_buckets = -(-n // k)
+        assert idx.size == expected_buckets
+        buckets = idx // k
+        assert np.array_equal(buckets, np.arange(expected_buckets))

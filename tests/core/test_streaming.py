@@ -1,0 +1,155 @@
+"""Streaming samplers: equivalence with batch counterparts, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling.streaming import (
+    StreamingReservoir,
+    StreamingStratified,
+    StreamingSystematic,
+    StreamingTimerSystematic,
+)
+from repro.core.sampling.systematic import SystematicSampler
+from repro.core.sampling.timer import TimerSystematicSampler
+from repro.trace.trace import Trace
+
+
+class TestStreamingSystematic:
+    def test_matches_batch(self, minute_trace):
+        batch = SystematicSampler(granularity=50, phase=7).sample_indices(
+            minute_trace
+        )
+        streaming = StreamingSystematic(granularity=50, phase=7).offer_all(
+            minute_trace.timestamps_us
+        )
+        assert np.array_equal(batch, streaming)
+
+    def test_o1_state_decisions(self):
+        sampler = StreamingSystematic(granularity=3)
+        decisions = [sampler.offer(i * 1000) for i in range(9)]
+        assert decisions == [True, False, False] * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingSystematic(granularity=0)
+        with pytest.raises(ValueError):
+            StreamingSystematic(granularity=5, phase=5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=400),
+        k=st.integers(min_value=1, max_value=50),
+        phase_seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_equivalence_property(self, n, k, phase_seed):
+        phase = phase_seed % k
+        trace = Trace(timestamps_us=np.arange(n) * 500, sizes=[40] * n)
+        batch = SystematicSampler(granularity=k, phase=phase).sample_indices(
+            trace
+        )
+        streaming = StreamingSystematic(granularity=k, phase=phase).offer_all(
+            trace.timestamps_us
+        )
+        assert np.array_equal(batch, streaming)
+
+
+class TestStreamingStratified:
+    def test_one_per_bucket(self):
+        sampler = StreamingStratified(granularity=10, rng=np.random.default_rng(1))
+        positions = sampler.offer_all(np.arange(100) * 1000)
+        assert positions.size == 10
+        assert np.array_equal(positions // 10, np.arange(10))
+
+    def test_uniform_within_bucket(self):
+        rng = np.random.default_rng(2)
+        picks = []
+        for _ in range(3000):
+            sampler = StreamingStratified(granularity=8, rng=rng)
+            picks.append(int(sampler.offer_all(np.arange(8) * 1000)[0]))
+        counts = np.bincount(picks, minlength=8)
+        assert counts.min() > 0
+        assert counts.max() / counts.min() < 1.4
+
+    def test_partial_final_bucket_may_miss(self):
+        # A monitor can't know the stream ends mid-bucket; when the
+        # drawn offset lies beyond the stream, nothing is kept.
+        rng = np.random.default_rng(3)
+        totals = []
+        for _ in range(300):
+            sampler = StreamingStratified(granularity=10, rng=rng)
+            totals.append(sampler.offer_all(np.arange(15) * 1000).size)
+        assert set(totals) <= {1, 2}
+        assert 1 in totals and 2 in totals
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingStratified(granularity=0)
+
+
+class TestStreamingTimer:
+    def test_matches_batch(self, minute_trace):
+        period = TimerSystematicSampler.for_granularity(
+            minute_trace, 50
+        ).period_us
+        batch = TimerSystematicSampler(period_us=period).sample_indices(
+            minute_trace
+        )
+        streaming = StreamingTimerSystematic(period_us=period).offer_all(
+            minute_trace.timestamps_us
+        )
+        assert np.array_equal(batch, streaming)
+
+    def test_matches_batch_with_phase(self, minute_trace):
+        period = 40_000.0
+        batch = TimerSystematicSampler(
+            period_us=period, phase_us=11_111.0
+        ).sample_indices(minute_trace)
+        streaming = StreamingTimerSystematic(
+            period_us=period, phase_us=11_111.0
+        ).offer_all(minute_trace.timestamps_us)
+        assert np.array_equal(batch, streaming)
+
+    def test_dedupe_of_stacked_expiries(self):
+        sampler = StreamingTimerSystematic(period_us=1000)
+        # Packets at 0 then 10 ms: ten expiries stack in the gap but
+        # only one keep results.
+        assert sampler.offer(0)
+        assert sampler.offer(10_000)
+        assert not sampler.offer(10_100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingTimerSystematic(period_us=0)
+        with pytest.raises(ValueError):
+            StreamingTimerSystematic(period_us=100, phase_us=100)
+
+
+class TestReservoir:
+    def test_exact_capacity(self):
+        reservoir = StreamingReservoir(capacity=50, rng=np.random.default_rng(4))
+        positions = reservoir.offer_all(np.arange(1000))
+        assert positions.size == 50
+        assert len(np.unique(positions)) == 50
+        assert reservoir.seen == 1000
+
+    def test_short_stream_keeps_everything(self):
+        reservoir = StreamingReservoir(capacity=50, rng=np.random.default_rng(5))
+        positions = reservoir.offer_all(np.arange(20))
+        assert np.array_equal(positions, np.arange(20))
+
+    def test_uniformity(self):
+        """Each stream position is retained with probability n/N."""
+        rng = np.random.default_rng(6)
+        hits = np.zeros(100)
+        for _ in range(2000):
+            reservoir = StreamingReservoir(capacity=10, rng=rng)
+            hits[reservoir.offer_all(np.arange(100))] += 1
+        expected = 2000 * 10 / 100
+        assert hits.min() > expected * 0.7
+        assert hits.max() < expected * 1.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingReservoir(capacity=0)

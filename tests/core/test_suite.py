@@ -1,0 +1,98 @@
+"""The one-call study driver."""
+
+import pytest
+
+from repro.core.evaluation.suite import (
+    ChiSquareCheck,
+    chi_square_phase_check,
+    reproduce_study,
+)
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    trace = request.getfixturevalue("five_minute_trace")
+    return reproduce_study(trace, quick=True, replications=3, seed=4)
+
+
+class TestReproduceStudy:
+    def test_population_summary(self, report, five_minute_trace):
+        assert report.packets == len(five_minute_trace)
+        assert report.size_summary.p25 == 40
+
+    def test_sample_size_plans(self, report):
+        n, granularity = report.sample_size_plans["packet size, r = 5%"]
+        assert 500 < n < 10_000
+        assert granularity >= 1
+
+    def test_sweep_covers_all_methods(self, report):
+        methods = {r.method for r in report.sweep.records}
+        assert len(methods) == 5
+
+    def test_headline_result_in_sweep(self, report):
+        for target in ("packet-size", "interarrival"):
+            packet = report.sweep.filter(
+                target=target, method="systematic", granularity=16
+            ).mean_phi()
+            timer = report.sweep.filter(
+                target=target, method="timer-systematic", granularity=16
+            ).mean_phi()
+            assert timer > packet
+
+    def test_chi_square_checks(self, report):
+        assert len(report.chi_square_checks) == 2
+        for check in report.chi_square_checks:
+            assert check.granularity == 50
+            assert check.phases == 10  # quick mode
+            assert check.compatible
+
+    def test_recommendation_excludes_timer_methods(self, report):
+        assert not report.recommendation.methods["timer-systematic"].feasible
+        assert report.recommendation.best is not None
+
+    def test_render_contains_all_sections(self, report):
+        text = report.render()
+        assert "population:" in text
+        assert "Cochran sample sizes" in text
+        assert "mean phi, target = packet-size" in text
+        assert "chi-square compatibility" in text
+        assert "phi budget" in text
+
+    def test_tiny_trace_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="thousand"):
+            reproduce_study(tiny_trace)
+
+
+class TestChiSquarePhaseCheck:
+    def test_limited_phases(self, minute_trace):
+        checks = chi_square_phase_check(minute_trace, phases=5)
+        assert all(c.phases == 5 for c in checks)
+
+    def test_default_runs_all_phases(self, minute_trace):
+        checks = chi_square_phase_check(minute_trace, granularity=8)
+        assert all(c.phases == 8 for c in checks)
+
+    def test_compatibility_property(self):
+        check = ChiSquareCheck(
+            target="x", granularity=50, phases=50, rejections=3
+        )
+        assert check.compatible
+        bad = ChiSquareCheck(
+            target="x", granularity=50, phases=50, rejections=20
+        )
+        assert not bad.compatible
+
+
+class TestCliReproduce:
+    def test_quick_reproduce_on_generated_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "t.pcap")
+        main(["generate", path, "--duration", "60", "--seed", "12"])
+        capsys.readouterr()
+        assert (
+            main(["reproduce", path, "--quick", "--replications", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Sampling-methodology study" in out
+        assert "cheapest" in out or "no configuration" in out

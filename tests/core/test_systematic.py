@@ -1,0 +1,88 @@
+"""Systematic (every k-th) sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling.systematic import SystematicSampler
+from repro.trace.trace import Trace
+
+
+class TestSelection:
+    def test_every_other(self, tiny_trace):
+        idx = SystematicSampler(granularity=2).sample_indices(tiny_trace)
+        assert list(idx) == [0, 2, 4, 6, 8]
+
+    def test_phase(self, tiny_trace):
+        idx = SystematicSampler(granularity=3, phase=1).sample_indices(tiny_trace)
+        assert list(idx) == [1, 4, 7]
+
+    def test_granularity_one_selects_all(self, tiny_trace):
+        idx = SystematicSampler(granularity=1).sample_indices(tiny_trace)
+        assert list(idx) == list(range(10))
+
+    def test_granularity_beyond_population(self, tiny_trace):
+        idx = SystematicSampler(granularity=100).sample_indices(tiny_trace)
+        assert list(idx) == [0]
+
+    def test_deterministic(self, tiny_trace, rng):
+        s = SystematicSampler(granularity=3)
+        a = s.sample_indices(tiny_trace, rng)
+        b = s.sample_indices(tiny_trace)
+        assert np.array_equal(a, b)
+
+    def test_empty_trace(self):
+        idx = SystematicSampler(granularity=5).sample_indices(Trace.empty())
+        assert idx.size == 0
+
+    def test_fraction_close_to_nominal(self, minute_trace):
+        result = SystematicSampler(granularity=50).sample(minute_trace)
+        assert result.fraction == pytest.approx(1 / 50, rel=0.01)
+
+
+class TestValidation:
+    def test_bad_granularity(self):
+        with pytest.raises(ValueError, match="granularity"):
+            SystematicSampler(granularity=0)
+
+    def test_bad_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            SystematicSampler(granularity=5, phase=5)
+        with pytest.raises(ValueError, match="phase"):
+            SystematicSampler(granularity=5, phase=-1)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=500),
+        k=st.integers(min_value=1, max_value=60),
+        phase_seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_arithmetic_progression(self, n, k, phase_seed):
+        phase = phase_seed % k
+        trace = Trace(timestamps_us=np.arange(n) * 1000, sizes=[40] * n)
+        idx = SystematicSampler(granularity=k, phase=phase).sample_indices(trace)
+        if idx.size:
+            assert idx[0] == phase
+            assert np.all(np.diff(idx) == k)
+        # Expected count: ceil((n - phase) / k) when phase < n.
+        expected = max(0, -(-(n - phase) // k)) if phase < n else 0
+        assert idx.size == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        k=st.integers(min_value=1, max_value=50),
+    )
+    def test_phases_partition_population(self, n, k):
+        """Every packet belongs to exactly one phase's sample."""
+        trace = Trace(timestamps_us=np.arange(n) * 1000, sizes=[40] * n)
+        seen = np.zeros(n, dtype=int)
+        for phase in range(min(k, n)):
+            idx = SystematicSampler(granularity=k, phase=phase).sample_indices(
+                trace
+            )
+            seen[idx] += 1
+        assert np.all(seen == 1)

@@ -1,0 +1,66 @@
+"""Characterization targets and the interarrival attribute semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation.targets import (
+    INTERARRIVAL_TARGET,
+    PACKET_SIZE_TARGET,
+    PAPER_TARGETS,
+    CharacterizationTarget,
+)
+from repro.trace.trace import Trace
+
+
+class TestPacketSizeTarget:
+    def test_population_values(self, tiny_trace):
+        values = PACKET_SIZE_TARGET.population_values(tiny_trace)
+        assert list(values) == list(tiny_trace.sizes.astype(float))
+
+    def test_sample_values(self, tiny_trace):
+        values = PACKET_SIZE_TARGET.sample_values(tiny_trace, np.array([0, 5]))
+        assert list(values) == [40.0, 1500.0]
+
+
+class TestInterarrivalTarget:
+    def test_first_packet_has_no_gap(self, tiny_trace):
+        values = INTERARRIVAL_TARGET.population_values(tiny_trace)
+        assert len(values) == len(tiny_trace) - 1
+
+    def test_population_gaps(self, tiny_trace):
+        values = INTERARRIVAL_TARGET.population_values(tiny_trace)
+        assert values[0] == 1000.0
+
+    def test_sample_uses_predecessor_gap(self, tiny_trace):
+        """A selected packet contributes its own gap from the parent's
+        preceding packet — not the gap to the previous *selected* one."""
+        values = INTERARRIVAL_TARGET.sample_values(tiny_trace, np.array([5, 9]))
+        # Packet 5 arrived 100 us after packet 4; packet 9 arrived
+        # 1000 us after packet 8.
+        assert list(values) == [100.0, 1000.0]
+
+    def test_sample_including_first_packet(self, tiny_trace):
+        values = INTERARRIVAL_TARGET.sample_values(tiny_trace, np.array([0, 3]))
+        # Packet 0 has no gap; only packet 3's survives.
+        assert list(values) == [1000.0]
+
+    def test_empty_sample(self, tiny_trace):
+        values = INTERARRIVAL_TARGET.sample_values(
+            tiny_trace, np.empty(0, dtype=np.int64)
+        )
+        assert values.size == 0
+
+
+class TestCustomTarget:
+    def test_attribute_shape_validated(self, tiny_trace):
+        bad = CharacterizationTarget(
+            name="bad",
+            bins=PACKET_SIZE_TARGET.bins,
+            attribute=lambda trace: np.array([1.0]),
+        )
+        with pytest.raises(ValueError, match="values for"):
+            bad.population_values(tiny_trace)
+
+    def test_paper_targets_tuple(self):
+        names = [t.name for t in PAPER_TARGETS]
+        assert names == ["packet-size", "interarrival"]

@@ -1,0 +1,97 @@
+"""Variable-bucket stratified sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling.stratified import VariableStratifiedSampler
+from repro.trace.trace import Trace
+
+
+def make_trace(n):
+    return Trace(timestamps_us=np.arange(n) * 1000, sizes=[40] * n)
+
+
+class TestSelection:
+    def test_one_per_stratum(self, rng):
+        sampler = VariableStratifiedSampler(boundaries=[3, 7])
+        idx = sampler.sample_indices(make_trace(10), rng)
+        assert idx.size == 3
+        assert 0 <= idx[0] < 3
+        assert 3 <= idx[1] < 7
+        assert 7 <= idx[2] < 10
+
+    def test_unequal_strata(self, rng):
+        sampler = VariableStratifiedSampler(boundaries=[1, 100])
+        idx = sampler.sample_indices(make_trace(200), rng)
+        assert idx.size == 3
+        assert idx[0] == 0
+
+    def test_boundaries_beyond_trace_skipped(self, rng):
+        sampler = VariableStratifiedSampler(boundaries=[5, 500])
+        idx = sampler.sample_indices(make_trace(10), rng)
+        assert idx.size == 2
+
+    def test_boundary_at_trace_length(self, rng):
+        sampler = VariableStratifiedSampler(boundaries=[5, 10])
+        idx = sampler.sample_indices(make_trace(10), rng)
+        # The boundary at exactly N contributes no empty stratum.
+        assert idx.size == 2
+
+    def test_empty_trace(self, rng):
+        sampler = VariableStratifiedSampler(boundaries=[5])
+        assert sampler.sample_indices(Trace.empty(), rng).size == 0
+
+    def test_sorted_output(self, rng):
+        sampler = VariableStratifiedSampler(boundaries=[10, 20, 30, 40])
+        idx = sampler.sample_indices(make_trace(50), rng)
+        assert np.all(np.diff(idx) > 0)
+
+    def test_parameters(self):
+        sampler = VariableStratifiedSampler(boundaries=[10, 20])
+        assert sampler.parameters() == {"strata": 3.0}
+
+    def test_name(self, rng):
+        result = VariableStratifiedSampler(boundaries=[5]).sample(
+            make_trace(10), rng
+        )
+        assert result.method == "stratified-variable"
+
+
+class TestValidation:
+    def test_empty_boundaries(self):
+        with pytest.raises(ValueError, match="at least one"):
+            VariableStratifiedSampler(boundaries=[])
+
+    def test_non_positive_boundary(self):
+        with pytest.raises(ValueError, match="positive"):
+            VariableStratifiedSampler(boundaries=[0, 5])
+
+    def test_non_increasing(self):
+        with pytest.raises(ValueError, match="increasing"):
+            VariableStratifiedSampler(boundaries=[5, 5])
+        with pytest.raises(ValueError, match="increasing"):
+            VariableStratifiedSampler(boundaries=[7, 3])
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        boundaries=st.lists(
+            st.integers(min_value=1, max_value=400),
+            min_size=1,
+            max_size=10,
+            unique=True,
+        ),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_exactly_one_per_nonempty_stratum(self, n, boundaries, seed):
+        bounds = sorted(boundaries)
+        sampler = VariableStratifiedSampler(boundaries=bounds)
+        idx = sampler.sample_indices(make_trace(n), np.random.default_rng(seed))
+        edges = [0] + [b for b in bounds if b < n] + [n]
+        assert idx.size == len(edges) - 1
+        for i, (lo, hi) in enumerate(zip(edges, edges[1:])):
+            assert lo <= idx[i] < hi

@@ -1,0 +1,63 @@
+"""The Figure 1 history simulation."""
+
+import pytest
+
+from repro.netmon.figure1 import CollectionMonth, simulate_collection_history
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def history(self):
+        return simulate_collection_history(
+            (150, 400, 800, 1000),
+            collector_capacity_pps=300,
+            sampling_deployed_at=2,
+            seconds_per_month=30,
+            seed=9,
+        )
+
+    def test_month_records(self, history):
+        assert len(history) == 4
+        assert [m.month for m in history] == [0, 1, 2, 3]
+        assert [m.sampled for m in history] == [False, False, True, True]
+
+    def test_under_capacity_agrees(self, history):
+        assert abs(history[0].discrepancy) < 0.02
+
+    def test_overload_diverges_before_sampling(self, history):
+        # Month 1 at 400 pps vs a 300 pps budget.
+        assert history[1].discrepancy > 0.1
+
+    def test_sampling_reconverges(self, history):
+        for month in history[2:]:
+            assert abs(month.discrepancy) < 0.01
+
+    def test_never_deploying_sampling(self):
+        history = simulate_collection_history(
+            (800,),
+            collector_capacity_pps=300,
+            sampling_deployed_at=99,
+            seconds_per_month=20,
+        )
+        assert not history[0].sampled
+        assert history[0].discrepancy > 0.3
+
+    def test_discrepancy_of_empty_month(self):
+        month = CollectionMonth(
+            month=0,
+            offered_pps=1.0,
+            snmp_packets=0,
+            categorized_packets=0,
+            sampled=False,
+        )
+        assert month.discrepancy == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_collection_history(())
+        with pytest.raises(ValueError):
+            simulate_collection_history((100, -5))
+        with pytest.raises(ValueError):
+            simulate_collection_history((100,), seconds_per_month=0)
+        with pytest.raises(ValueError):
+            simulate_collection_history((100,), sampling_deployed_at=-1)

@@ -1,0 +1,150 @@
+"""Misra-Gries summaries and the bounded-memory matrix object."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netmon.heavyhitters import MisraGries, TopNMatrix
+from repro.netmon.objects import SourceDestMatrix
+
+
+class TestMisraGries:
+    def test_small_stream_exact(self):
+        summary = MisraGries(capacity=10)
+        summary.update_many(["a", "b", "a", "c", "a"])
+        assert summary.estimate("a") == 3
+        assert summary.estimate("b") == 1
+        assert summary.estimate("missing") == 0
+
+    def test_undercount_bound(self, rng):
+        """Estimates never exceed truth and undercount <= n/(k+1)."""
+        capacity = 9
+        items = rng.choice(50, size=5000, p=_zipf(50))
+        summary = MisraGries(capacity)
+        summary.update_many(items.tolist())
+        truth = {v: int(c) for v, c in zip(*np.unique(items, return_counts=True))}
+        bound = summary.error_bound
+        for item, true_count in truth.items():
+            estimate = summary.estimate(item)
+            assert estimate <= true_count
+            assert true_count - estimate <= bound + 1e-9
+
+    def test_heavy_hitters_no_false_negatives(self, rng):
+        capacity = 19  # supports thresholds >= 5%
+        items = rng.choice(30, size=8000, p=_zipf(30))
+        summary = MisraGries(capacity)
+        summary.update_many(items.tolist())
+        truth = {v: int(c) for v, c in zip(*np.unique(items, return_counts=True))}
+        threshold = 0.05
+        reported = summary.heavy_hitters(threshold)
+        for item, count in truth.items():
+            if count > threshold * len(items):
+                assert item in reported
+
+    def test_weighted_updates(self):
+        summary = MisraGries(capacity=4)
+        summary.update("x", weight=100)
+        summary.update("y", weight=1)
+        assert summary.estimate("x") == 100
+        assert summary.stream_length == 101
+
+    def test_weighted_eviction(self):
+        summary = MisraGries(capacity=2)
+        summary.update("a", weight=10)
+        summary.update("b", weight=3)
+        summary.update("c", weight=5)  # decrement-all by 3, b evicted
+        assert summary.estimate("a") == 7
+        assert summary.estimate("b") == 0
+        assert summary.estimate("c") == 2
+
+    def test_capacity_respected(self, rng):
+        summary = MisraGries(capacity=5)
+        summary.update_many(rng.integers(0, 1000, size=2000).tolist())
+        assert len(summary.candidates()) <= 5
+
+    def test_merge_preserves_guarantee(self, rng):
+        capacity = 9
+        stream_a = rng.choice(40, size=3000, p=_zipf(40))
+        stream_b = rng.choice(40, size=3000, p=_zipf(40))
+        a = MisraGries(capacity)
+        a.update_many(stream_a.tolist())
+        b = MisraGries(capacity)
+        b.update_many(stream_b.tolist())
+        merged = a.merge(b)
+        whole = np.concatenate([stream_a, stream_b])
+        truth = {v: int(c) for v, c in zip(*np.unique(whole, return_counts=True))}
+        assert merged.stream_length == 6000
+        bound = merged.stream_length / (capacity + 1)
+        for item, count in truth.items():
+            estimate = merged.estimate(item)
+            assert estimate <= count
+            assert count - estimate <= bound + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MisraGries(capacity=0)
+        summary = MisraGries(capacity=2)
+        with pytest.raises(ValueError):
+            summary.update("a", weight=0)
+        with pytest.raises(ValueError):
+            summary.heavy_hitters(0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        items=st.lists(st.integers(min_value=0, max_value=20), max_size=300),
+        capacity=st.integers(min_value=1, max_value=10),
+    )
+    def test_bound_property(self, items, capacity):
+        summary = MisraGries(capacity)
+        summary.update_many(items)
+        bound = len(items) / (capacity + 1)
+        for item in set(items):
+            true_count = items.count(item)
+            estimate = summary.estimate(item)
+            assert estimate <= true_count
+            assert true_count - estimate <= bound + 1e-9
+
+
+class TestTopNMatrix:
+    def test_tracks_heavy_pairs(self, five_minute_trace):
+        bounded = TopNMatrix(capacity=64)
+        exact = SourceDestMatrix()
+        bounded.observe(five_minute_trace)
+        exact.observe(five_minute_trace)
+        exact_top = [pair for pair, _ in exact.top_pairs(5)]
+        bounded_top = [pair for pair, _ in bounded.top_pairs(10)]
+        overlap = len(set(exact_top) & set(bounded_top))
+        assert overlap >= 4
+
+    def test_memory_bounded(self, five_minute_trace):
+        bounded = TopNMatrix(capacity=16)
+        bounded.observe(five_minute_trace)
+        assert len(bounded.snapshot()["pairs"]) <= 16
+
+    def test_snapshot_fields(self, tiny_trace):
+        obj = TopNMatrix(capacity=8)
+        obj.observe(tiny_trace)
+        snap = obj.snapshot()
+        assert snap["stream_length"] == len(tiny_trace)
+        assert snap["pairs"][(1, 1001)] >= 1
+
+    def test_reset(self, tiny_trace):
+        obj = TopNMatrix(capacity=8)
+        obj.observe(tiny_trace)
+        obj.reset()
+        assert obj.snapshot()["stream_length"] == 0
+        assert obj.snapshot()["pairs"] == {}
+
+    def test_empty_batch(self):
+        from repro.trace.trace import Trace
+
+        obj = TopNMatrix(capacity=8)
+        obj.observe(Trace.empty())
+        assert obj.snapshot()["stream_length"] == 0
+
+
+def _zipf(n, exponent=1.0):
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()

@@ -1,0 +1,248 @@
+"""Table 1 statistical objects."""
+
+import numpy as np
+import pytest
+
+from repro.netmon.objects import (
+    ArrivalRateHistogram,
+    PacketLengthHistogram,
+    PortDistribution,
+    ProtocolDistribution,
+    SourceDestMatrix,
+    VolumeCounter,
+    t1_object_set,
+    t3_object_set,
+)
+from repro.trace.trace import Trace
+
+
+class TestSourceDestMatrix:
+    def test_pair_accumulation(self, tiny_trace):
+        matrix = SourceDestMatrix()
+        matrix.observe(tiny_trace)
+        snap = matrix.snapshot()
+        assert snap["packets"][(1, 1001)] == 6
+        assert snap["packets"][(2, 1002)] == 2
+        assert snap["bytes"][(3, 1003)] == 28
+
+    def test_total_packets(self, tiny_trace):
+        matrix = SourceDestMatrix()
+        matrix.observe(tiny_trace)
+        assert matrix.total_packets() == 10
+
+    def test_incremental_observation(self, tiny_trace):
+        matrix = SourceDestMatrix()
+        matrix.observe(tiny_trace.slice_packets(0, 5))
+        matrix.observe(tiny_trace.slice_packets(5))
+        assert matrix.total_packets() == 10
+
+    def test_top_pairs(self, tiny_trace):
+        matrix = SourceDestMatrix()
+        matrix.observe(tiny_trace)
+        top = matrix.top_pairs(1)
+        assert top[0][0] == (1, 1001)
+
+    def test_reset(self, tiny_trace):
+        matrix = SourceDestMatrix()
+        matrix.observe(tiny_trace)
+        matrix.reset()
+        assert matrix.total_packets() == 0
+
+    def test_empty_batch(self):
+        matrix = SourceDestMatrix()
+        matrix.observe(Trace.empty())
+        assert matrix.total_packets() == 0
+
+
+class TestPortDistribution:
+    def test_well_known_ports(self, tiny_trace):
+        dist = PortDistribution()
+        dist.observe(tiny_trace)
+        snap = dist.snapshot()
+        assert snap["packets"][23] == 6  # telnet
+        assert snap["packets"][20] == 2  # ftp-data
+        assert snap["packets"][53] == 1  # dns
+
+    def test_icmp_not_counted(self, tiny_trace):
+        dist = PortDistribution(ports=(23,))
+        dist.observe(tiny_trace)
+        assert sum(dist.snapshot()["packets"].values()) == 6
+
+    def test_proportions(self, tiny_trace):
+        dist = PortDistribution()
+        dist.observe(tiny_trace)
+        props = dist.proportions()
+        assert sum(props.values()) == pytest.approx(1.0)
+        assert props[23] == pytest.approx(6 / 9)
+
+    def test_proportions_empty(self):
+        assert PortDistribution().proportions() == {}
+
+    def test_byte_volumes_per_port(self, tiny_trace):
+        dist = PortDistribution()
+        dist.observe(tiny_trace)
+        snap = dist.snapshot()
+        # Six telnet packets: 40+552+40+552+40+40 ... by construction,
+        # all tiny-trace packets on port 23 sum to these sizes.
+        telnet_sizes = [
+            int(size)
+            for size, dport in zip(tiny_trace.sizes, tiny_trace.dst_ports)
+            if dport == 23
+        ]
+        assert snap["bytes"][23] == sum(telnet_sizes)
+
+    def test_port_matched_on_source_side(self):
+        from repro.trace.trace import Trace
+
+        trace = Trace(
+            timestamps_us=[0],
+            sizes=[100],
+            src_ports=[53],
+            dst_ports=[4000],
+            protocols=[17],
+        )
+        dist = PortDistribution(ports=(53,))
+        dist.observe(trace)
+        assert dist.snapshot()["packets"][53] == 1
+
+    def test_packet_counted_once_for_both_ends(self):
+        """A packet with the same well-known port on both ends counts once."""
+        from repro.trace.trace import Trace
+
+        trace = Trace(
+            timestamps_us=[0],
+            sizes=[100],
+            src_ports=[53],
+            dst_ports=[53],
+            protocols=[17],
+        )
+        dist = PortDistribution(ports=(53,))
+        dist.observe(trace)
+        assert dist.snapshot()["packets"][53] == 1
+
+    def test_reset(self, tiny_trace):
+        dist = PortDistribution()
+        dist.observe(tiny_trace)
+        dist.reset()
+        assert dist.snapshot()["packets"] == {}
+
+
+class TestProtocolDistribution:
+    def test_counts(self, tiny_trace):
+        dist = ProtocolDistribution()
+        dist.observe(tiny_trace)
+        snap = dist.snapshot()
+        assert snap["packets"]["TCP"] == 8
+        assert snap["packets"]["ICMP"] == 1
+        assert snap["packets"]["UDP"] == 1
+
+    def test_byte_volumes(self, tiny_trace):
+        dist = ProtocolDistribution()
+        dist.observe(tiny_trace)
+        assert dist.snapshot()["bytes"]["ICMP"] == 28
+
+    def test_unknown_protocol(self):
+        trace = Trace(timestamps_us=[0], sizes=[40], protocols=[89])
+        dist = ProtocolDistribution()
+        dist.observe(trace)
+        assert dist.snapshot()["packets"]["IP-89"] == 1
+
+
+class TestPacketLengthHistogram:
+    def test_fifty_byte_bins(self, tiny_trace):
+        hist = PacketLengthHistogram()
+        hist.observe(tiny_trace)
+        counts = hist.snapshot()["counts"]
+        # Sizes 28, 40 x4 land in bin 0; 552 x4 in bin 11; 1500 in bin 30.
+        assert counts[0] == 5
+        assert counts[11] == 4
+        assert counts[30] == 1
+
+    def test_oversize_clamped_to_last_bin(self):
+        hist = PacketLengthHistogram(bin_width=50, max_length=100)
+        trace = Trace(timestamps_us=[0], sizes=[1500])
+        hist.observe(trace)
+        assert hist.snapshot()["counts"][-1] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketLengthHistogram(bin_width=0)
+
+
+class TestArrivalRateHistogram:
+    def test_second_batches_bucketed(self):
+        hist = ArrivalRateHistogram(bin_width=20)
+        batch = Trace(timestamps_us=np.arange(45) * 1000, sizes=[40] * 45)
+        hist.observe(batch)  # 45 pps -> bin 2
+        assert hist.snapshot()["counts"][2] == 1
+
+    def test_empty_second(self):
+        hist = ArrivalRateHistogram()
+        hist.observe(Trace.empty())
+        assert hist.snapshot()["counts"][0] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalRateHistogram(bin_width=-1)
+
+
+class TestSizeQuantileObject:
+    def test_tracks_table3_style_numbers(self, minute_trace):
+        from repro.netmon.objects import SizeQuantileObject
+
+        obj = SizeQuantileObject()
+        obj.observe(minute_trace.slice_packets(0, 20_000))
+        snap = obj.snapshot()
+        assert snap["count"] == 20_000
+        sizes = minute_trace.sizes[:20_000].astype(float)
+        assert snap["mean"] == pytest.approx(sizes.mean(), rel=1e-9)
+        assert snap["std"] == pytest.approx(sizes.std(), rel=1e-9)
+        assert snap["min"] == sizes.min()
+        assert snap["max"] == sizes.max()
+        # P2 quartiles are approximate; they must land in the right
+        # region of the bimodal population.
+        assert 28 <= snap["quantiles"][0.25] <= 80
+        assert snap["quantiles"][0.75] > 200
+
+    def test_incremental_batches(self, tiny_trace):
+        from repro.netmon.objects import SizeQuantileObject
+
+        obj = SizeQuantileObject()
+        obj.observe(tiny_trace.slice_packets(0, 5))
+        obj.observe(tiny_trace.slice_packets(5))
+        assert obj.snapshot()["count"] == 10
+
+    def test_empty_snapshot(self):
+        from repro.netmon.objects import SizeQuantileObject
+
+        assert SizeQuantileObject().snapshot() == {"count": 0}
+
+    def test_reset(self, tiny_trace):
+        from repro.netmon.objects import SizeQuantileObject
+
+        obj = SizeQuantileObject()
+        obj.observe(tiny_trace)
+        obj.reset()
+        assert obj.snapshot() == {"count": 0}
+
+
+class TestVolumeCounter:
+    def test_accumulation(self, tiny_trace):
+        counter = VolumeCounter("test-volume")
+        counter.observe(tiny_trace)
+        assert counter.packets == 10
+        assert counter.bytes == tiny_trace.total_bytes
+        counter.reset()
+        assert counter.packets == 0
+
+
+class TestObjectSets:
+    def test_t3_subset(self):
+        names = [o.name for o in t3_object_set()]
+        assert names == ["net-matrix", "port-distribution", "protocol-distribution"]
+
+    def test_t1_full_set(self):
+        names = [o.name for o in t1_object_set()]
+        assert len(names) == 7
+        assert "length-histogram" in names
+        assert "rate-histogram" in names

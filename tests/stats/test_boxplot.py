@@ -1,0 +1,89 @@
+"""Tukey boxplot statistics with the paper's whisker rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.boxplot import boxplot_stats
+
+
+class TestBoxplot:
+    def test_quartiles(self):
+        stats = boxplot_stats(list(range(1, 101)))
+        assert stats.q1 == pytest.approx(25.75)
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q3 == pytest.approx(75.25)
+        assert stats.iqr == pytest.approx(49.5)
+
+    def test_no_outliers_whiskers_at_extremes(self):
+        stats = boxplot_stats([1, 2, 3, 4, 5])
+        assert stats.whisker_low == 1
+        assert stats.whisker_high == 5
+        assert stats.outliers == ()
+
+    def test_high_outlier(self):
+        data = [1, 2, 3, 4, 5, 100]
+        stats = boxplot_stats(data)
+        assert 100 in stats.outliers
+        assert stats.whisker_high == 5
+
+    def test_low_outlier(self):
+        data = [-100, 10, 11, 12, 13, 14]
+        stats = boxplot_stats(data)
+        assert -100 in stats.outliers
+        assert stats.whisker_low == 10
+
+    def test_whisker_factor_zero(self):
+        # whisker = 0: whiskers collapse to the box, everything outside
+        # becomes an outlier.
+        stats = boxplot_stats([1, 2, 3, 4, 5], whisker=0.0)
+        assert stats.whisker_low >= stats.q1
+        assert stats.whisker_high <= stats.q3
+
+    def test_constant_data(self):
+        stats = boxplot_stats([5.0] * 10)
+        assert stats.q1 == stats.median == stats.q3 == 5.0
+        assert stats.outliers == ()
+
+    def test_single_value(self):
+        stats = boxplot_stats([3.0])
+        assert stats.median == 3.0
+        assert stats.count == 1
+
+    def test_mean_and_count(self):
+        stats = boxplot_stats([1.0, 2.0, 6.0])
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.count == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            boxplot_stats([])
+
+    def test_negative_whisker_rejected(self):
+        with pytest.raises(ValueError, match="whisker"):
+            boxplot_stats([1, 2], whisker=-1.0)
+
+    def test_outliers_sorted(self):
+        stats = boxplot_stats([50, 10, 11, 12, 13, -50])
+        assert list(stats.outliers) == sorted(stats.outliers)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        data=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100
+        )
+    )
+    def test_invariants(self, data):
+        stats = boxplot_stats(data)
+        assert stats.q1 <= stats.median <= stats.q3
+        assert stats.whisker_low <= stats.whisker_high
+        # Whiskers stay within the 1.5 IQR fences.  (They are actual
+        # data values, so they may land inside the box when the
+        # interpolated quartiles fall between data points.)
+        reach = 1.5 * stats.iqr
+        assert stats.whisker_low >= stats.q1 - reach - 1e-9
+        assert stats.whisker_high <= stats.q3 + reach + 1e-9
+        arr = np.asarray(data)
+        inside = arr[(arr >= stats.whisker_low) & (arr <= stats.whisker_high)]
+        assert len(inside) + len(stats.outliers) == len(arr)

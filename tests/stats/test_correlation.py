@@ -1,0 +1,83 @@
+"""Autocorrelation and intra-sample correlation diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.correlation import autocorrelation, intrasample_correlation
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        acf = autocorrelation(rng.normal(size=100), max_lag=5)
+        assert acf[0] == 1.0
+
+    def test_white_noise_near_zero(self, rng):
+        acf = autocorrelation(rng.normal(size=50_000), max_lag=3)
+        assert np.all(np.abs(acf[1:]) < 0.02)
+
+    def test_ar1_process(self):
+        rng = np.random.default_rng(1)
+        rho = 0.8
+        x = np.empty(100_000)
+        x[0] = rng.standard_normal()
+        noise = rng.standard_normal(100_000) * np.sqrt(1 - rho * rho)
+        for i in range(1, len(x)):
+            x[i] = rho * x[i - 1] + noise[i]
+        acf = autocorrelation(x, max_lag=3)
+        assert acf[1] == pytest.approx(rho, abs=0.02)
+        assert acf[2] == pytest.approx(rho**2, abs=0.03)
+
+    def test_alternating_series(self):
+        acf = autocorrelation([1.0, -1.0] * 500, max_lag=2)
+        assert acf[1] == pytest.approx(-1.0, abs=0.01)
+        assert acf[2] == pytest.approx(1.0, abs=0.01)
+
+    def test_constant_series(self):
+        acf = autocorrelation([5.0] * 100, max_lag=3)
+        assert acf[0] == 1.0
+        assert np.all(acf[1:] == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            autocorrelation([], max_lag=1)
+        with pytest.raises(ValueError, match="max_lag"):
+            autocorrelation([1.0, 2.0], max_lag=-1)
+        with pytest.raises(ValueError, match="too large"):
+            autocorrelation([1.0, 2.0], max_lag=5)
+
+
+class TestIntrasampleCorrelation:
+    def test_anova_identity(self, rng):
+        """rho_w reproduces Var_sys = (S^2/n)(1 + (n-1) rho_w)."""
+        population = rng.normal(size=4096)
+        k = 8
+        n = population.size // k
+        rho_w = intrasample_correlation(population, k)
+        phase_means = population.reshape(n, k).mean(axis=0)
+        var_sys = phase_means.var()
+        s2 = population.var()
+        assert var_sys == pytest.approx(
+            (s2 / n) * (1 + (n - 1) * rho_w), rel=1e-9
+        )
+
+    def test_random_population_near_zero(self, rng):
+        rho_w = intrasample_correlation(rng.normal(size=160_000), 16)
+        assert abs(rho_w) < 1e-3
+
+    def test_resonant_periodicity_positive(self, rng):
+        x = np.sin(2 * np.pi * np.arange(64_000) / 16)
+        x += rng.normal(0, 0.05, size=x.size)
+        assert intrasample_correlation(x, 16) > 0.5
+
+    def test_linear_trend_negative(self, rng):
+        x = np.linspace(0, 1, 64_000) + rng.normal(0, 0.01, size=64_000)
+        assert intrasample_correlation(x, 16) < 0
+
+    def test_constant_population(self):
+        assert intrasample_correlation(np.ones(1000), 10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="granularity"):
+            intrasample_correlation(np.ones(100), 1)
+        with pytest.raises(ValueError, match="too short"):
+            intrasample_correlation(np.ones(10), 8)

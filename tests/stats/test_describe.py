@@ -1,0 +1,100 @@
+"""Summary descriptions, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.stats.describe import describe, quantile
+
+
+class TestQuantile:
+    def test_median_of_odd_sample(self):
+        assert quantile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_extremes(self):
+        data = [3, 1, 4, 1, 5]
+        assert quantile(data, 0.0) == 1
+        assert quantile(data, 1.0) == 5
+
+    def test_matches_numpy(self, rng):
+        data = rng.normal(size=500)
+        for q in (0.05, 0.25, 0.5, 0.75, 0.95):
+            assert quantile(data, q) == pytest.approx(np.quantile(data, q))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            quantile([1, 2], 1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            quantile([1, 2], -0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            quantile([], 0.5)
+
+
+class TestDescribe:
+    def test_simple_sample(self):
+        d = describe([1, 2, 3, 4, 5])
+        assert d.count == 5
+        assert d.minimum == 1
+        assert d.maximum == 5
+        assert d.mean == 3
+        assert d.median == 3
+        assert d.std == pytest.approx(np.sqrt(2))
+
+    def test_skewness_matches_scipy(self, rng):
+        data = rng.exponential(size=2000)
+        d = describe(data)
+        assert d.skewness == pytest.approx(
+            scipy.stats.skew(data, bias=True), rel=1e-9
+        )
+
+    def test_kurtosis_is_non_excess(self, rng):
+        data = rng.normal(size=20000)
+        d = describe(data)
+        # Normal data: kurtosis near 3 in the non-excess convention.
+        assert d.kurtosis == pytest.approx(3.0, abs=0.25)
+        assert d.kurtosis == pytest.approx(
+            scipy.stats.kurtosis(data, fisher=False, bias=True), rel=1e-9
+        )
+
+    def test_constant_sample(self):
+        d = describe([7, 7, 7])
+        assert d.std == 0
+        assert d.skewness == 0
+        assert d.kurtosis == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            describe([])
+
+    def test_symmetric_sample_has_zero_skew(self):
+        d = describe([-2, -1, 0, 1, 2])
+        assert d.skewness == pytest.approx(0.0, abs=1e-12)
+
+    def test_row_formatting(self):
+        row = describe([1, 2, 3]).row("label", digits=1)
+        assert row.startswith("label")
+        assert "2.0" in row  # mean/median
+
+    def test_row_scaling(self):
+        row = describe([1000.0, 3000.0]).row("kB", scale=1000.0, digits=1)
+        assert "1.0" in row and "3.0" in row
+
+
+class TestAgainstPaperTable2Shape:
+    """The synthetic minute should roughly echo Table 2's structure."""
+
+    def test_size_bimodality(self, minute_trace):
+        # A single minute's bulk share wanders with the mix
+        # modulation, so only the stable quantiles are pinned here;
+        # the full calibration contract is asserted on longer traces
+        # in tests/workload/test_calibration.py.
+        d = describe(minute_trace.sizes)
+        assert d.p25 == 40
+        assert d.p95 == 552
+
+    def test_interarrival_quartiles_are_clock_multiples(self, minute_trace):
+        d = describe(minute_trace.interarrivals_us())
+        assert d.p25 % 400 == 0
+        assert d.median % 400 == 0

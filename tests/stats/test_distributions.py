@@ -1,0 +1,80 @@
+"""Chi-square and normal distribution functions vs scipy."""
+
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import chi2_cdf, chi2_sf, normal_cdf, normal_ppf
+
+
+class TestChiSquare:
+    @pytest.mark.parametrize("dof", [1, 2, 4, 9, 30])
+    @pytest.mark.parametrize("x", [0.1, 1.0, 3.84, 10.0, 50.0])
+    def test_sf_matches_scipy(self, dof, x):
+        assert chi2_sf(x, dof) == pytest.approx(
+            scipy.stats.chi2.sf(x, dof), rel=1e-9, abs=1e-12
+        )
+
+    @pytest.mark.parametrize("dof", [1, 2, 4, 9, 30])
+    @pytest.mark.parametrize("x", [0.1, 1.0, 3.84, 10.0, 50.0])
+    def test_cdf_matches_scipy(self, dof, x):
+        assert chi2_cdf(x, dof) == pytest.approx(
+            scipy.stats.chi2.cdf(x, dof), rel=1e-9, abs=1e-12
+        )
+
+    def test_classic_critical_value(self):
+        # chi2 = 3.841 at 1 dof is the 5% critical point.
+        assert chi2_sf(3.841, 1) == pytest.approx(0.05, abs=1e-3)
+
+    def test_boundaries(self):
+        assert chi2_cdf(0.0, 3) == 0.0
+        assert chi2_sf(0.0, 3) == 1.0
+        assert chi2_cdf(-5.0, 3) == 0.0
+        assert chi2_sf(-5.0, 3) == 1.0
+
+    def test_invalid_dof(self):
+        with pytest.raises(ValueError):
+            chi2_sf(1.0, 0)
+        with pytest.raises(ValueError):
+            chi2_cdf(1.0, -2)
+
+    def test_cdf_plus_sf(self):
+        for x in (0.5, 2.0, 7.7):
+            assert chi2_cdf(x, 4) + chi2_sf(x, 4) == pytest.approx(1.0)
+
+
+class TestNormal:
+    def test_cdf_known_values(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+        assert normal_cdf(1.96) == pytest.approx(0.975, abs=1e-4)
+        assert normal_cdf(-1.96) == pytest.approx(0.025, abs=1e-4)
+
+    def test_ppf_known_values(self):
+        assert normal_ppf(0.5) == pytest.approx(0.0, abs=1e-12)
+        assert normal_ppf(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert normal_ppf(0.995) == pytest.approx(2.575829, abs=1e-5)
+
+    @pytest.mark.parametrize("p", [1e-10, 1e-4, 0.01, 0.3, 0.5, 0.7, 0.99, 1 - 1e-9])
+    def test_ppf_matches_scipy(self, p):
+        assert normal_ppf(p) == pytest.approx(
+            scipy.stats.norm.ppf(p), rel=1e-9, abs=1e-10
+        )
+
+    def test_ppf_domain(self):
+        with pytest.raises(ValueError):
+            normal_ppf(0.0)
+        with pytest.raises(ValueError):
+            normal_ppf(1.0)
+        with pytest.raises(ValueError):
+            normal_ppf(-0.2)
+
+    @settings(max_examples=200, deadline=None)
+    @given(p=st.floats(min_value=1e-12, max_value=1 - 1e-12))
+    def test_ppf_cdf_roundtrip(self, p):
+        assert normal_cdf(normal_ppf(p)) == pytest.approx(p, abs=1e-10)
+
+    @settings(max_examples=100, deadline=None)
+    @given(z=st.floats(min_value=-8.0, max_value=8.0))
+    def test_cdf_symmetry(self, z):
+        assert normal_cdf(z) + normal_cdf(-z) == pytest.approx(1.0, abs=1e-12)

@@ -1,0 +1,202 @@
+"""ECDF, Kolmogorov-Smirnov, and Anderson-Darling implementations."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.ecdf import (
+    Ecdf,
+    anderson_darling,
+    kolmogorov_sf,
+    ks_statistic,
+    ks_test,
+)
+
+
+class TestEcdf:
+    def test_step_values(self):
+        cdf = Ecdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+        assert cdf(99.0) == 1.0
+
+    def test_right_continuity_with_ties(self):
+        cdf = Ecdf([1.0, 1.0, 2.0])
+        assert cdf(1.0) == pytest.approx(2 / 3)
+        assert cdf(1.0 - 1e-12) == 0.0
+
+    def test_vectorized(self):
+        cdf = Ecdf([1.0, 2.0])
+        values = cdf(np.array([0.0, 1.5, 3.0]))
+        assert list(values) == [0.0, 0.5, 1.0]
+
+    def test_quantile(self):
+        cdf = Ecdf([10.0, 20.0, 30.0, 40.0])
+        assert cdf.quantile(0.25) == 10.0
+        assert cdf.quantile(0.5) == 20.0
+        assert cdf.quantile(1.0) == 40.0
+
+    def test_quantile_validation(self):
+        cdf = Ecdf([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Ecdf([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Ecdf([1.0, float("nan")])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100
+        )
+    )
+    def test_monotone_between_zero_and_one(self, data):
+        cdf = Ecdf(data)
+        grid = np.linspace(min(data) - 1, max(data) + 1, 50)
+        values = cdf(grid)
+        assert np.all(np.diff(values) >= 0)
+        assert values[0] >= 0.0 and values[-1] == 1.0
+
+
+class TestKsStatistic:
+    def test_identical_sample_zero(self):
+        population = Ecdf(np.arange(100, dtype=float))
+        assert ks_statistic(np.arange(100, dtype=float), population) == 0.0
+
+    def test_disjoint_sample_one(self):
+        population = Ecdf([1.0, 2.0, 3.0])
+        assert ks_statistic([10.0, 11.0], population) == pytest.approx(1.0)
+
+    def test_matches_scipy_two_sided(self, rng):
+        population_data = rng.normal(size=4000)
+        sample = rng.normal(size=200)
+        ours = ks_statistic(sample, Ecdf(population_data))
+        theirs = scipy.stats.ks_2samp(sample, population_data).statistic
+        # Identical up to scipy's two-sample tie handling.
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ks_statistic([], Ecdf([1.0]))
+
+
+class TestKolmogorovSf:
+    @pytest.mark.parametrize("x", [0.5, 0.8, 1.0, 1.36, 2.0])
+    def test_matches_scipy(self, x):
+        assert kolmogorov_sf(x) == pytest.approx(
+            scipy.special.kolmogorov(x), abs=1e-10
+        )
+
+    def test_boundaries(self):
+        assert kolmogorov_sf(0.0) == 1.0
+        assert kolmogorov_sf(-1.0) == 1.0
+        assert kolmogorov_sf(10.0) < 1e-10
+
+    def test_classic_critical_value(self):
+        # Q(1.358) ~ 0.05.
+        assert kolmogorov_sf(1.358) == pytest.approx(0.05, abs=0.002)
+
+
+class TestKsTest:
+    def test_continuous_null_holds_level(self):
+        """On genuinely continuous data the test behaves."""
+        rng = np.random.default_rng(3)
+        population = Ecdf(rng.normal(size=50_000))
+        rejections = sum(
+            ks_test(rng.normal(size=100), population).rejected
+            for _ in range(200)
+        )
+        assert rejections <= 30  # nominal 10 of 200
+
+    def test_wrong_distribution_rejected(self, rng):
+        population = Ecdf(rng.normal(size=10_000))
+        shifted = rng.normal(loc=1.0, size=200)
+        assert ks_test(shifted, population).rejected
+
+    def test_discrete_population_is_conservative_not_invalid(
+        self, minute_trace
+    ):
+        """With the exact statistic, ties make the test conservative."""
+        sizes = minute_trace.sizes.astype(float)
+        population = Ecdf(sizes)
+        rng = np.random.default_rng(4)
+        pvalues = []
+        for _ in range(60):
+            sample = rng.choice(sizes, size=500, replace=False)
+            pvalues.append(ks_test(sample, population).pvalue)
+        pvalues = np.array(pvalues)
+        # Holds (indeed undershoots) the nominal level...
+        assert (pvalues < 0.05).mean() <= 0.1
+        # ...and is visibly conservative: null p-values pile up high
+        # instead of being uniform.
+        assert (pvalues > 0.5).mean() > 0.55
+
+    def test_naive_continuous_construction_breaks_on_atoms(
+        self, minute_trace
+    ):
+        """The textbook D+/D- construction overstates D by the atom mass."""
+        from repro.stats.ecdf import ks_statistic_continuous
+
+        sizes = minute_trace.sizes.astype(float)
+        population = Ecdf(sizes)
+        # A sample identical to the population has true distance 0...
+        assert ks_statistic(sizes, population) == 0.0
+        # ...but the continuous construction reports roughly the
+        # 40-byte atom's mass.
+        naive = ks_statistic_continuous(sizes, population)
+        atom = (sizes == 40).mean()
+        assert naive == pytest.approx(atom, abs=0.05)
+
+    def test_continuous_construction_agrees_without_ties(self, rng):
+        from repro.stats.ecdf import ks_statistic_continuous
+
+        population = Ecdf(rng.normal(size=5000))
+        sample = rng.normal(size=300)
+        assert ks_statistic(sample, population) == pytest.approx(
+            ks_statistic_continuous(sample, population), abs=1e-3
+        )
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            ks_test([1.0], Ecdf([1.0]), alpha=0.0)
+
+
+class TestAndersonDarling:
+    def test_matches_scipy_for_uniform_null(self):
+        # Against U(0,1), A2 has the textbook closed form scipy uses.
+        rng = np.random.default_rng(5)
+        sample = rng.random(500)
+        grid = Ecdf(np.linspace(1e-9, 1.0, 2_000_001))  # ~exact U(0,1) CDF
+        ours = anderson_darling(sample, grid)
+
+        sorted_sample = np.sort(sample)
+        n = len(sorted_sample)
+        i = np.arange(1, n + 1)
+        expected = -n - np.sum(
+            (2 * i - 1)
+            * (np.log(sorted_sample) + np.log(1 - sorted_sample[::-1]))
+        ) / n
+        assert ours == pytest.approx(expected, abs=0.01)
+
+    def test_perfectly_matching_sample_small(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=20_000)
+        population = Ecdf(data)
+        sample = rng.choice(data, size=200, replace=False)
+        # A2 for a true-null continuous sample is O(1).
+        assert anderson_darling(sample, population) < 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            anderson_darling([], Ecdf([1.0]))

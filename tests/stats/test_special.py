@@ -1,0 +1,78 @@
+"""Incomplete gamma functions vs scipy, plus analytic properties."""
+
+import math
+
+import pytest
+import scipy.special
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.special import gamma_p, gamma_q, log_gamma
+
+
+class TestLogGamma:
+    def test_known_values(self):
+        assert log_gamma(1.0) == pytest.approx(0.0, abs=1e-14)
+        assert log_gamma(2.0) == pytest.approx(0.0, abs=1e-14)
+        assert log_gamma(5.0) == pytest.approx(math.log(24.0), rel=1e-14)
+
+    def test_half_integer(self):
+        assert log_gamma(0.5) == pytest.approx(math.log(math.sqrt(math.pi)))
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            log_gamma(0.0)
+        with pytest.raises(ValueError):
+            log_gamma(-1.5)
+
+
+class TestIncompleteGamma:
+    @pytest.mark.parametrize("a", [0.5, 1.0, 2.5, 5.0, 25.0, 100.0])
+    @pytest.mark.parametrize("x", [0.01, 0.5, 1.0, 3.0, 10.0, 80.0])
+    def test_p_matches_scipy(self, a, x):
+        assert gamma_p(a, x) == pytest.approx(
+            scipy.special.gammainc(a, x), rel=1e-10, abs=1e-12
+        )
+
+    @pytest.mark.parametrize("a", [0.5, 1.0, 2.5, 5.0, 25.0, 100.0])
+    @pytest.mark.parametrize("x", [0.01, 0.5, 1.0, 3.0, 10.0, 80.0])
+    def test_q_matches_scipy(self, a, x):
+        assert gamma_q(a, x) == pytest.approx(
+            scipy.special.gammaincc(a, x), rel=1e-10, abs=1e-12
+        )
+
+    def test_boundary_at_zero(self):
+        assert gamma_p(2.0, 0.0) == 0.0
+        assert gamma_q(2.0, 0.0) == 1.0
+
+    def test_exponential_special_case(self):
+        # a = 1: P(1, x) = 1 - exp(-x).
+        assert gamma_p(1.0, 2.0) == pytest.approx(1.0 - math.exp(-2.0), rel=1e-12)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            gamma_p(0.0, 1.0)
+        with pytest.raises(ValueError):
+            gamma_p(1.0, -1.0)
+        with pytest.raises(ValueError):
+            gamma_q(-2.0, 1.0)
+        with pytest.raises(ValueError):
+            gamma_q(1.0, -0.5)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        a=st.floats(min_value=0.05, max_value=200.0),
+        x=st.floats(min_value=0.0, max_value=400.0),
+    )
+    def test_p_plus_q_is_one(self, a, x):
+        assert gamma_p(a, x) + gamma_q(a, x) == pytest.approx(1.0, abs=1e-10)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        a=st.floats(min_value=0.1, max_value=50.0),
+        x1=st.floats(min_value=0.0, max_value=100.0),
+        x2=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_p_is_monotone_in_x(self, a, x1, x2):
+        lo, hi = sorted((x1, x2))
+        assert gamma_p(a, lo) <= gamma_p(a, hi) + 1e-12

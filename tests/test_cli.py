@@ -1,0 +1,176 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.pcap"])
+        assert args.seed == 1993
+        assert args.duration == 3600
+
+    def test_sample_method_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sample", "x", "--method", "bogus"])
+
+
+class TestErrorPaths:
+    def test_missing_pcap_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["describe", str(tmp_path / "missing.pcap")])
+
+    def test_garbage_pcap_file(self, tmp_path):
+        from repro.trace.pcap import PcapError
+
+        path = tmp_path / "garbage.pcap"
+        path.write_bytes(b"this is not a pcap file at all, sorry......")
+        with pytest.raises(PcapError):
+            main(["sample", str(path)])
+
+    def test_bad_granularity_type(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sample", "x", "--granularity", "not-a-number"]
+            )
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_generate_and_describe(self, tmp_path, capsys):
+        path = str(tmp_path / "t.pcap")
+        assert main(["generate", path, "--duration", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        assert main(["describe", path]) == 0
+        out = capsys.readouterr().out
+        assert "packet size" in out
+        assert "interarrival" in out
+
+    def test_sample_on_generated_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "t.pcap")
+        main(["generate", path, "--duration", "10", "--seed", "4"])
+        capsys.readouterr()
+        assert main(["sample", path, "--granularity", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "systematic 1/25" in out
+        assert "phi=" in out
+
+    def test_experiment_on_generated_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "t.pcap")
+        main(["generate", path, "--duration", "20", "--seed", "5"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "experiment",
+                    path,
+                    "--methods",
+                    "systematic",
+                    "stratified",
+                    "--max-log2-granularity",
+                    "4",
+                    "--replications",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mean phi" in out
+        assert "systematic" in out
+        assert "stratified" in out
+
+    def test_experiment_save_csv(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pcap")
+        csv_path = str(tmp_path / "sweep.csv")
+        main(["generate", trace_path, "--duration", "10", "--seed", "6"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "experiment",
+                    trace_path,
+                    "--methods",
+                    "systematic",
+                    "--max-log2-granularity",
+                    "3",
+                    "--replications",
+                    "1",
+                    "--save",
+                    csv_path,
+                ]
+            )
+            == 0
+        )
+        from repro.core.evaluation.persistence import load_result
+
+        # 3 granularities x 1 replication on the CLI's single target.
+        assert len(load_result(csv_path)) == 3
+
+    def test_samplesize_command(self, tmp_path, capsys):
+        path = str(tmp_path / "t.pcap")
+        main(["generate", path, "--duration", "10", "--seed", "7"])
+        capsys.readouterr()
+        assert main(["samplesize", path, "--accuracy", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "packet size" in out
+        assert "sample 1 in" in out
+
+    def test_netmon_command(self, tmp_path, capsys):
+        path = str(tmp_path / "t.pcap")
+        main(["generate", path, "--duration", "10", "--seed", "8"])
+        capsys.readouterr()
+        assert main(["netmon", path, "--capacity", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "SNMP forwarding-path total" in out
+        assert "discrepancy" in out
+
+    def test_netmon_sampled_agrees(self, tmp_path, capsys):
+        path = str(tmp_path / "t.pcap")
+        main(["generate", path, "--duration", "10", "--seed", "9"])
+        capsys.readouterr()
+        main(["netmon", path, "--capacity", "200", "--granularity", "50"])
+        out = capsys.readouterr().out
+        dropped_line = [
+            l for l in out.splitlines() if "dropped by collector" in l
+        ][0]
+        assert int(dropped_line.split()[-3]) == 0
+
+    def test_fidelity_command(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pcap")
+        main(["generate", trace_path, "--duration", "30", "--seed", "13"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "fidelity",
+                    trace_path,
+                    "--window",
+                    "10",
+                    "--granularity",
+                    "20",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "windowed fidelity" in out
+        assert "worst window" in out
+        # 30 s of traffic in 10 s windows -> three data rows.
+        assert len([l for l in out.splitlines() if l.strip().endswith(tuple("0123456789"))]) >= 3
+
+    def test_describe_empty_synthetic_keyword(self, capsys):
+        # 'synthetic' builds a 10-minute trace; smoke-check it summarizes.
+        assert main(["describe", "synthetic"]) == 0
+        out = capsys.readouterr().out
+        assert "packets:" in out

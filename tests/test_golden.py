@@ -1,0 +1,64 @@
+"""Golden regression values.
+
+These tests freeze exact seeded outputs of the pipeline.  They exist
+to catch *unintended* behaviour changes — a refactor that silently
+alters the generator's draw order, a metrics tweak that shifts phi in
+the fourth decimal.  If a change is intentional, update the constants
+and say so in the commit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation.comparison import score_sample
+from repro.core.evaluation.targets import (
+    INTERARRIVAL_TARGET,
+    PACKET_SIZE_TARGET,
+)
+from repro.core.sampling.factory import make_sampler
+from repro.workload.generator import nsfnet_hour_trace
+
+
+@pytest.fixture(scope="module")
+def golden_trace():
+    return nsfnet_hour_trace(seed=424, duration_s=90)
+
+
+class TestGeneratorGolden:
+    def test_packet_count(self, golden_trace):
+        assert len(golden_trace) == 40956
+
+    def test_total_bytes(self, golden_trace):
+        assert golden_trace.total_bytes == 10470267
+
+    def test_first_packets(self, golden_trace):
+        assert golden_trace.timestamps_us[:4].tolist() == [6000, 10000, 15200, 17200]
+        assert golden_trace.sizes[:4].tolist() == [40, 56, 126, 40]
+
+    def test_checksum_columns(self, golden_trace):
+        # Cheap whole-column fingerprints.
+        assert int(golden_trace.timestamps_us.sum()) == 1818517375600
+        assert int(golden_trace.src_nets.sum()) == 377881
+        assert int(golden_trace.dst_ports.sum()) == 2221013
+
+
+class TestScoringGolden:
+    def test_systematic_phi_values(self, golden_trace):
+        sampler = make_sampler("systematic", 50, phase=7)
+        result = sampler.sample(golden_trace)
+        size = score_sample(golden_trace, result, PACKET_SIZE_TARGET)
+        iat = score_sample(golden_trace, result, INTERARRIVAL_TARGET)
+        assert size.phi == pytest.approx(0.02140901, abs=1e-7)
+        assert iat.phi == pytest.approx(0.03763640, abs=1e-7)
+
+    def test_stratified_phi_value(self, golden_trace):
+        sampler = make_sampler("stratified", 64)
+        result = sampler.sample(golden_trace, rng=np.random.default_rng(77))
+        size = score_sample(golden_trace, result, PACKET_SIZE_TARGET)
+        assert size.phi == pytest.approx(0.03510055, abs=1e-7)
+
+    def test_timer_phi_value(self, golden_trace):
+        sampler = make_sampler("timer-systematic", 50, trace=golden_trace)
+        result = sampler.sample(golden_trace)
+        iat = score_sample(golden_trace, result, INTERARRIVAL_TARGET)
+        assert iat.phi == pytest.approx(0.74517530, abs=1e-6)

@@ -1,0 +1,176 @@
+"""End-to-end reproduction of the paper's headline findings.
+
+Each test here corresponds to a claim in the paper's Sections 6-8, run
+on a few minutes of calibrated synthetic traffic (the full-hour runs
+live in the benchmark suite).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation.comparison import population_proportions, score_sample
+from repro.core.evaluation.experiment import ExperimentGrid, mean_phi_series
+from repro.core.evaluation.targets import (
+    INTERARRIVAL_TARGET,
+    PACKET_SIZE_TARGET,
+)
+from repro.core.metrics.chisquare import chi_square_test
+from repro.core.sampling.systematic import SystematicSampler
+
+
+@pytest.fixture(scope="module")
+def sweep(request):
+    trace = request.getfixturevalue("five_minute_trace")
+    grid = ExperimentGrid(
+        granularities=(4, 16, 64, 256, 1024),
+        replications=5,
+        seed=11,
+    )
+    return grid.run(trace)
+
+
+class TestHeadlineOrdering:
+    """'Time-triggered techniques did not perform as well as the
+    packet-triggered ones ... performance differences within each
+    class are small.'"""
+
+    @pytest.mark.parametrize("target", ["packet-size", "interarrival"])
+    def test_timer_methods_uniformly_worse(self, sweep, target):
+        for granularity in (4, 16, 64, 256):
+            packet_best = max(
+                sweep.filter(
+                    target=target, method=m, granularity=granularity
+                ).mean_phi()
+                for m in ("systematic", "stratified", "random")
+            )
+            timer_worst = min(
+                sweep.filter(
+                    target=target, method=m, granularity=granularity
+                ).mean_phi()
+                for m in ("timer-systematic", "timer-stratified")
+            )
+            assert timer_worst > packet_best
+
+    def test_packet_methods_similar(self, sweep):
+        """Packet-driven phi values agree within a small band."""
+        for target in ("packet-size", "interarrival"):
+            for granularity in (16, 64, 256):
+                means = [
+                    sweep.filter(
+                        target=target, method=m, granularity=granularity
+                    ).mean_phi()
+                    for m in ("systematic", "stratified", "random")
+                ]
+                # Differences within the class are small in absolute
+                # phi terms (the paper's reading of Figures 8-9).
+                assert max(means) - min(means) < 0.05
+
+    def test_timer_interarrival_catastrophic(self, sweep):
+        """Timer sampling skews the interarrival distribution toward
+        large values; phi saturates near its ceiling regardless of
+        fraction."""
+        for granularity in (4, 64, 1024):
+            phi = sweep.filter(
+                target="interarrival",
+                method="timer-systematic",
+                granularity=granularity,
+            ).mean_phi()
+            assert phi > 0.5
+
+
+class TestGranularityTrends:
+    """Figures 6-9: coarser sampling gives larger phi and larger
+    replication variance."""
+
+    @pytest.mark.parametrize("method", ["systematic", "stratified", "random"])
+    @pytest.mark.parametrize("target", ["packet-size", "interarrival"])
+    def test_phi_increases_with_granularity(self, sweep, method, target):
+        series = mean_phi_series(sweep, target, method)
+        granularities = sorted(series)
+        # Monotone up to replication noise: compare the ends.
+        assert series[granularities[-1]] > series[granularities[0]]
+        assert series[1024] > 3 * series[4]
+
+    def test_variance_increases_with_granularity(self, sweep):
+        fine = sweep.filter(
+            target="packet-size", method="stratified", granularity=4
+        ).phis()
+        coarse = sweep.filter(
+            target="packet-size", method="stratified", granularity=1024
+        ).phis()
+        assert np.std(coarse) > np.std(fine)
+
+    def test_fine_systematic_nearly_perfect(self, sweep):
+        """'The first box plot ... corresponds to every fourth packet,
+        and most of the scores are near perfect zeros.'"""
+        phi = sweep.filter(
+            target="packet-size", method="systematic", granularity=4
+        ).mean_phi()
+        assert phi < 0.01
+
+
+class TestChiSquareCompatibility:
+    """Section 6: systematic 1-in-50 samples pass the chi-square test
+    at 0.05 in the vast majority of the fifty phase replications."""
+
+    def test_one_in_fifty_replication_pass_rate(self, five_minute_trace):
+        for target in (PACKET_SIZE_TARGET, INTERARRIVAL_TARGET):
+            proportions = population_proportions(five_minute_trace, target)
+            rejections = 0
+            for phase in range(50):
+                sampler = SystematicSampler(granularity=50, phase=phase)
+                result = sampler.sample(five_minute_trace)
+                values = target.sample_values(five_minute_trace, result.indices)
+                observed = target.bins.counts(values)
+                if chi_square_test(observed, proportions).rejected:
+                    rejections += 1
+            # The paper saw 2-3 rejections of 50; allow generous noise.
+            assert rejections <= 10
+
+
+class TestIntervalTrend:
+    """Figures 10-11: phi improves with elapsed time at every
+    fraction."""
+
+    @pytest.mark.parametrize(
+        "target", ["packet-size", "interarrival"]
+    )
+    def test_phi_improves_with_elapsed_time(self, five_minute_trace, target):
+        grid = ExperimentGrid(
+            methods=("systematic",),
+            granularities=(64,),
+            intervals_us=(8_000_000, 32_000_000, 128_000_000),
+            replications=5,
+            seed=13,
+            score_against="full",
+        )
+        result = grid.run(five_minute_trace)
+        series = mean_phi_series(
+            result, target, "systematic", over="interval_us"
+        )
+        intervals = sorted(series)
+        assert series[intervals[-1]] < series[intervals[0]]
+
+
+class TestMetricAgreement:
+    """Figure 3: cost, X2 and phi track each other; raw chi-square and
+    its significance level do not discriminate across fractions."""
+
+    def test_size_invariant_metrics_track(self, five_minute_trace):
+        proportions = population_proportions(
+            five_minute_trace, PACKET_SIZE_TARGET
+        )
+        phis, ks = [], []
+        for granularity in (8, 64, 512, 4096):
+            sampler = SystematicSampler(granularity=granularity, phase=1)
+            result = sampler.sample(five_minute_trace)
+            score = score_sample(
+                five_minute_trace,
+                result,
+                PACKET_SIZE_TARGET,
+                proportions=proportions,
+            )
+            phis.append(score.scores.phi)
+            ks.append(score.scores.k)
+        # Both metrics order the granularities the same way.
+        assert np.argsort(phis).tolist() == np.argsort(ks).tolist()

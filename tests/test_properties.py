@@ -1,0 +1,208 @@
+"""Cross-cutting property-based tests.
+
+Invariants that hold across modules: every sampling method produces a
+valid index vector on any trace; the metric suite is coherent for any
+observed/expected pair; pcap round-trips preserve arbitrary traces;
+quantization commutes with windowing.  Hypothesis drives the inputs.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics.registry import evaluate_all
+from repro.core.sampling.factory import METHOD_NAMES, make_sampler
+from repro.trace.clock import MonitorClock
+from repro.trace.filters import prefix_interval
+from repro.trace.pcap import read_pcap, write_pcap
+from repro.trace.trace import Trace
+
+# ----------------------------------------------------------------------
+# trace strategies
+
+
+@st.composite
+def traces(draw, min_packets=0, max_packets=120):
+    """Arbitrary well-formed traces."""
+    n = draw(st.integers(min_value=min_packets, max_value=max_packets))
+    gaps = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=100_000),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    timestamps = np.cumsum(np.asarray(gaps, dtype=np.int64)) if n else []
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=28, max_value=1500), min_size=n, max_size=n
+        )
+    )
+    protocols = draw(
+        st.lists(st.sampled_from([1, 6, 17]), min_size=n, max_size=n)
+    )
+    ports = [0 if p == 1 else 23 for p in protocols]
+    return Trace(
+        timestamps_us=timestamps,
+        sizes=sizes,
+        protocols=protocols,
+        src_nets=[1] * n,
+        dst_nets=[1001] * n,
+        src_ports=[0 if p == 1 else 1024 for p in protocols],
+        dst_ports=ports,
+    )
+
+
+class TestSamplingInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        trace=traces(min_packets=2),
+        method=st.sampled_from(METHOD_NAMES),
+        granularity=st.sampled_from([1, 2, 7, 32]),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_all_methods_produce_valid_samples(
+        self, trace, method, granularity, seed
+    ):
+        rng = np.random.default_rng(seed)
+        sampler = make_sampler(method, granularity, trace=trace, rng=rng)
+        result = sampler.sample(trace, rng=rng)
+        idx = result.indices
+        # Indices valid, sorted, within range.
+        if idx.size:
+            assert idx.min() >= 0
+            assert idx.max() < len(trace)
+            assert np.all(np.diff(idx) >= 0)
+        # Fraction bounded by 1 and the sample materializes.
+        assert 0.0 <= result.fraction <= 1.0
+        sub = result.apply(trace)
+        assert len(sub) == result.sample_size
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace=traces(min_packets=2),
+        granularity=st.sampled_from([1, 2, 7, 32]),
+    )
+    def test_packet_methods_hit_nominal_size(self, trace, granularity):
+        expected = -(-len(trace) // granularity)
+        for method in ("systematic", "stratified", "random"):
+            sampler = make_sampler(method, granularity)
+            result = sampler.sample(trace, rng=np.random.default_rng(1))
+            # All three count-driven methods take ceil(N/k) packets
+            # (systematic with phase 0).
+            assert result.sample_size == expected
+
+
+class TestSamplingComposition:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=500),
+        k1=st.integers(min_value=1, max_value=8),
+        k2=st.integers(min_value=1, max_value=8),
+    )
+    def test_systematic_composes_multiplicatively(self, n, k1, k2):
+        """Sampling a systematic sample systematically equals sampling
+        the population at the product granularity (phase 0)."""
+        from repro.core.sampling.systematic import SystematicSampler
+
+        trace = Trace(timestamps_us=np.arange(n) * 1000, sizes=[40] * n)
+        outer = SystematicSampler(granularity=k2).sample(trace)
+        inner = SystematicSampler(granularity=k1).sample(outer.apply(trace))
+        composed = outer.indices[inner.indices]
+        direct = SystematicSampler(granularity=k1 * k2).sample_indices(trace)
+        assert np.array_equal(composed, direct)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=400),
+        k=st.integers(min_value=1, max_value=16),
+        phase_seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_sampled_subtrace_preserves_attribute_alignment(
+        self, n, k, phase_seed
+    ):
+        """Selecting then reading columns equals reading then selecting."""
+        from repro.core.sampling.systematic import SystematicSampler
+
+        rng = np.random.default_rng(phase_seed)
+        sizes = rng.integers(28, 1500, size=n)
+        trace = Trace(timestamps_us=np.arange(n) * 1000, sizes=sizes)
+        sampler = SystematicSampler(granularity=k, phase=phase_seed % k)
+        result = sampler.sample(trace)
+        assert np.array_equal(
+            result.apply(trace).sizes, trace.sizes[result.indices]
+        )
+
+
+class TestMetricCoherence:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        counts=st.lists(
+            st.integers(min_value=0, max_value=10_000), min_size=2, max_size=8
+        ),
+        weights=st.lists(
+            st.integers(min_value=1, max_value=100), min_size=2, max_size=8
+        ),
+    )
+    def test_evaluate_all_coherent(self, counts, weights):
+        k = min(len(counts), len(weights))
+        observed = np.asarray(counts[:k], dtype=float)
+        props = np.asarray(weights[:k], dtype=float)
+        props = props / props.sum()
+        if observed.sum() == 0:
+            return
+        scores = evaluate_all(observed, props, fraction=0.5)
+        assert scores.chi2 >= 0
+        assert 0.0 <= scores.significance <= 1.0
+        assert scores.cost >= 0
+        assert scores.phi >= 0
+        assert scores.k >= 0
+        # phi^2 * 2n == chi2 exactly.
+        assert scores.phi**2 * 2 * scores.sample_size == pytest.approx(
+            scores.chi2, rel=1e-9, abs=1e-9
+        )
+        # rcost is the discounted cost.
+        assert scores.rcost == pytest.approx(0.5 * scores.cost)
+
+
+class TestPcapRoundtripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(trace=traces())
+    def test_roundtrip_preserves_everything(self, trace):
+        buffer = io.BytesIO()
+        write_pcap(trace, buffer)
+        buffer.seek(0)
+        assert read_pcap(buffer) == trace
+
+
+class TestWindowingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace=traces(min_packets=1),
+        length_ms=st.integers(min_value=1, max_value=1000),
+    )
+    def test_prefix_is_a_packet_prefix(self, trace, length_ms):
+        """A time-prefix window is always a positional prefix."""
+        window = prefix_interval(trace, length_ms * 1000)
+        assert window == trace.slice_packets(0, len(window))
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=traces())
+    def test_quantization_preserves_packets_and_order(self, trace):
+        clock = MonitorClock()
+        quantized = clock.quantize_trace(trace)
+        assert len(quantized) == len(trace)
+        assert np.all(np.diff(quantized.timestamps_us) >= 0)
+        assert np.all(quantized.timestamps_us <= trace.timestamps_us)
+        assert np.all(
+            trace.timestamps_us - quantized.timestamps_us
+            < clock.resolution_us
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=traces(min_packets=1))
+    def test_prefix_of_full_duration_is_whole_trace(self, trace):
+        assert prefix_interval(trace, trace.duration_us + 1) == trace

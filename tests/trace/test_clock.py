@@ -1,0 +1,56 @@
+"""Monitor clock quantization."""
+
+import numpy as np
+import pytest
+
+from repro.trace.clock import PAPER_CLOCK_RESOLUTION_US, MonitorClock
+from repro.trace.trace import Trace
+
+
+class TestQuantization:
+    def test_paper_default_resolution(self):
+        assert MonitorClock().resolution_us == 400
+        assert PAPER_CLOCK_RESOLUTION_US == 400
+
+    def test_floor_to_grid(self):
+        clock = MonitorClock(resolution_us=400)
+        ts = clock.quantize_timestamps(np.array([0, 399, 400, 401, 799, 800]))
+        assert list(ts) == [0, 0, 400, 400, 400, 800]
+
+    def test_quantized_values_are_multiples(self, minute_trace):
+        clock = MonitorClock()
+        ts = clock.quantize_timestamps(minute_trace.timestamps_us)
+        assert np.all(ts % 400 == 0)
+
+    def test_quantization_is_idempotent(self):
+        clock = MonitorClock()
+        ts = np.array([123, 456, 789, 401_000])
+        once = clock.quantize_timestamps(ts)
+        assert np.array_equal(clock.quantize_timestamps(once), once)
+
+    def test_quantization_preserves_order(self, rng):
+        clock = MonitorClock(resolution_us=7)
+        ts = np.sort(rng.integers(0, 10_000, size=500))
+        quantized = clock.quantize_timestamps(ts)
+        assert np.all(np.diff(quantized) >= 0)
+
+    def test_quantize_trace_keeps_other_columns(self, tiny_trace):
+        quantized = MonitorClock().quantize_trace(tiny_trace)
+        assert np.array_equal(quantized.sizes, tiny_trace.sizes)
+        assert np.array_equal(quantized.protocols, tiny_trace.protocols)
+
+    def test_sub_tick_gaps_collapse_to_zero(self):
+        trace = Trace(timestamps_us=[1000, 1100, 1250], sizes=[40, 40, 40])
+        quantized = MonitorClock(resolution_us=400).quantize_trace(trace)
+        gaps = quantized.interarrivals_us()
+        assert list(gaps) == [0, 400]
+
+    def test_ticks(self):
+        clock = MonitorClock(resolution_us=400)
+        assert list(clock.ticks(np.array([0, 399, 400, 1200]))) == [0, 0, 1, 3]
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError, match="resolution"):
+            MonitorClock(resolution_us=0)
+        with pytest.raises(ValueError, match="resolution"):
+            MonitorClock(resolution_us=-5)

@@ -1,0 +1,86 @@
+"""Trace windowing and filtering."""
+
+import numpy as np
+import pytest
+
+from repro.trace.filters import first_packets, prefix_interval, time_window, where
+from repro.trace.packet import IPPROTO_ICMP, IPPROTO_TCP
+from repro.trace.trace import Trace
+
+
+class TestTimeWindow:
+    def test_half_open_semantics(self, tiny_trace):
+        window = time_window(tiny_trace, 1000, 3200)
+        assert list(window.timestamps_us) == [1000, 2000, 3000, 3100]
+
+    def test_empty_window(self, tiny_trace):
+        assert len(time_window(tiny_trace, 500, 500)) == 0
+
+    def test_window_past_end(self, tiny_trace):
+        assert len(time_window(tiny_trace, 10_000, 20_000)) == 0
+
+    def test_whole_trace(self, tiny_trace):
+        assert time_window(tiny_trace, 0, 10_000) == tiny_trace
+
+    def test_reversed_window_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="precedes"):
+            time_window(tiny_trace, 100, 50)
+
+
+class TestPrefixInterval:
+    def test_prefix(self, tiny_trace):
+        assert len(prefix_interval(tiny_trace, 3200)) == 5  # 0..3100
+
+    def test_anchored_at_first_packet(self):
+        trace = Trace(timestamps_us=[5000, 5500, 7000], sizes=[40, 40, 40])
+        assert len(prefix_interval(trace, 1000)) == 2
+
+    def test_zero_length(self, tiny_trace):
+        assert len(prefix_interval(tiny_trace, 0)) == 0
+
+    def test_negative_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="non-negative"):
+            prefix_interval(tiny_trace, -1)
+
+    def test_empty_trace(self):
+        assert len(prefix_interval(Trace.empty(), 1000)) == 0
+
+    def test_doubling_windows_nest(self, minute_trace):
+        small = prefix_interval(minute_trace, 4_000_000)
+        large = prefix_interval(minute_trace, 8_000_000)
+        assert len(small) <= len(large)
+        assert large.slice_packets(0, len(small)) == small
+
+
+class TestFirstPackets:
+    def test_count(self, tiny_trace):
+        assert len(first_packets(tiny_trace, 3)) == 3
+
+    def test_count_beyond_length(self, tiny_trace):
+        assert len(first_packets(tiny_trace, 100)) == 10
+
+    def test_negative_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="non-negative"):
+            first_packets(tiny_trace, -1)
+
+
+class TestWhere:
+    def test_protocol_filter(self, tiny_trace):
+        tcp = where(tiny_trace, lambda t: t.protocols == IPPROTO_TCP)
+        assert len(tcp) == 8
+        assert np.all(tcp.protocols == IPPROTO_TCP)
+
+    def test_size_filter(self, tiny_trace):
+        small = where(tiny_trace, lambda t: t.sizes <= 40)
+        assert list(small.sizes) == [40, 40, 40, 28, 40]
+
+    def test_composite_filter(self, tiny_trace):
+        picked = where(
+            tiny_trace,
+            lambda t: (t.protocols == IPPROTO_ICMP) | (t.sizes == 1500),
+        )
+        assert len(picked) == 2
+
+    def test_bad_mask_shape_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="shape"):
+            where(tiny_trace, lambda t: np.array([True]))

@@ -1,0 +1,76 @@
+"""PacketRecord construction and derived properties."""
+
+import pytest
+
+from repro.trace.packet import (
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    MAX_PACKET_SIZE,
+    MIN_PACKET_SIZE,
+    PacketRecord,
+)
+
+
+class TestConstruction:
+    def test_minimal_record(self):
+        record = PacketRecord(timestamp_us=0, size=40)
+        assert record.timestamp_us == 0
+        assert record.size == 40
+        assert record.protocol == IPPROTO_TCP
+
+    def test_full_record_fields(self):
+        record = PacketRecord(
+            timestamp_us=1234,
+            size=552,
+            protocol=IPPROTO_UDP,
+            src_net=5,
+            dst_net=1001,
+            src_port=2000,
+            dst_port=53,
+        )
+        assert record.src_net == 5
+        assert record.dst_net == 1001
+        assert record.src_port == 2000
+        assert record.dst_port == 53
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="timestamp"):
+            PacketRecord(timestamp_us=-1, size=40)
+
+    def test_size_below_minimum_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            PacketRecord(timestamp_us=0, size=MIN_PACKET_SIZE - 1)
+
+    def test_size_above_maximum_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            PacketRecord(timestamp_us=0, size=MAX_PACKET_SIZE + 1)
+
+    def test_boundary_sizes_accepted(self):
+        assert PacketRecord(timestamp_us=0, size=MIN_PACKET_SIZE).size == 20
+        assert (
+            PacketRecord(timestamp_us=0, size=MAX_PACKET_SIZE).size
+            == MAX_PACKET_SIZE
+        )
+
+    def test_frozen(self):
+        record = PacketRecord(timestamp_us=0, size=40)
+        with pytest.raises(AttributeError):
+            record.size = 100
+
+
+class TestDerivedProperties:
+    def test_protocol_names(self):
+        assert PacketRecord(0, 40, protocol=IPPROTO_TCP).protocol_name == "TCP"
+        assert PacketRecord(0, 40, protocol=IPPROTO_UDP).protocol_name == "UDP"
+        assert PacketRecord(0, 40, protocol=IPPROTO_ICMP).protocol_name == "ICMP"
+
+    def test_unknown_protocol_name(self):
+        assert PacketRecord(0, 40, protocol=89).protocol_name == "IP-89"
+
+    def test_has_ports_for_tcp_udp(self):
+        assert PacketRecord(0, 40, protocol=IPPROTO_TCP).has_ports
+        assert PacketRecord(0, 40, protocol=IPPROTO_UDP).has_ports
+
+    def test_no_ports_for_icmp(self):
+        assert not PacketRecord(0, 40, protocol=IPPROTO_ICMP).has_ports

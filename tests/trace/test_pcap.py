@@ -1,0 +1,181 @@
+"""Pcap reader/writer: roundtrips and malformed-stream handling."""
+
+import io
+import struct
+
+import pytest
+
+from repro.trace.pcap import (
+    DEFAULT_SNAPLEN,
+    LINKTYPE_RAW,
+    PCAP_MAGIC,
+    PcapError,
+    read_pcap,
+    write_pcap,
+)
+from repro.trace.trace import Trace
+
+
+def roundtrip(trace: Trace, **kwargs) -> Trace:
+    buffer = io.BytesIO()
+    write_pcap(trace, buffer, **kwargs)
+    buffer.seek(0)
+    return read_pcap(buffer)
+
+
+class TestRoundtrip:
+    def test_all_fields_preserved(self, tiny_trace):
+        assert roundtrip(tiny_trace) == tiny_trace
+
+    def test_empty_trace(self):
+        assert roundtrip(Trace.empty()) == Trace.empty()
+
+    def test_timestamps_above_one_second(self):
+        trace = Trace(timestamps_us=[0, 2_500_000, 2_500_001], sizes=[40, 552, 40])
+        assert list(roundtrip(trace).timestamps_us) == [0, 2_500_000, 2_500_001]
+
+    def test_large_packet_size_preserved_beyond_snaplen(self):
+        trace = Trace(timestamps_us=[0], sizes=[1500])
+        back = roundtrip(trace)
+        assert back.sizes[0] == 1500
+
+    def test_synthetic_trace_roundtrip(self, minute_trace):
+        subset = minute_trace.slice_packets(0, 2000)
+        assert roundtrip(subset) == subset
+
+    def test_file_path_api(self, tmp_path, tiny_trace):
+        path = str(tmp_path / "trace.pcap")
+        write_pcap(tiny_trace, path)
+        assert read_pcap(path) == tiny_trace
+
+    def test_custom_snaplen(self, tiny_trace):
+        assert roundtrip(tiny_trace, snaplen=128) == tiny_trace
+
+    def test_snaplen_too_small_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="snaplen"):
+            write_pcap(tiny_trace, io.BytesIO(), snaplen=16)
+
+
+class TestFormat:
+    def test_global_header_magic_and_linktype(self, tiny_trace):
+        buffer = io.BytesIO()
+        write_pcap(tiny_trace, buffer)
+        raw = buffer.getvalue()
+        magic, _maj, _min, _tz, _sig, snaplen, linktype = struct.unpack(
+            "<IHHiIII", raw[:24]
+        )
+        assert magic == PCAP_MAGIC
+        assert snaplen == DEFAULT_SNAPLEN
+        assert linktype == LINKTYPE_RAW
+
+    def test_record_original_length(self):
+        trace = Trace(timestamps_us=[0], sizes=[1400])
+        buffer = io.BytesIO()
+        write_pcap(trace, buffer)
+        raw = buffer.getvalue()
+        _sec, _usec, incl_len, orig_len = struct.unpack("<IIII", raw[24:40])
+        assert orig_len == 1400
+        assert incl_len <= DEFAULT_SNAPLEN
+
+    def test_ip_checksum_is_valid(self, tiny_trace):
+        buffer = io.BytesIO()
+        write_pcap(tiny_trace, buffer)
+        raw = buffer.getvalue()
+        header = raw[40:60]  # first record's IP header
+        total = sum(struct.unpack(">10H", header))
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF
+
+
+class TestBigEndian:
+    def _as_big_endian(self, trace: Trace) -> bytes:
+        """Re-serialize a little-endian pcap with big-endian headers."""
+        buffer = io.BytesIO()
+        write_pcap(trace, buffer)
+        raw = buffer.getvalue()
+        magic, maj, mnr, tz, sig, snap, link = struct.unpack(
+            "<IHHiIII", raw[:24]
+        )
+        out = struct.pack(">IHHiIII", magic, maj, mnr, tz, sig, snap, link)
+        offset = 24
+        while offset < len(raw):
+            sec, usec, incl, orig = struct.unpack(
+                "<IIII", raw[offset : offset + 16]
+            )
+            out += struct.pack(">IIII", sec, usec, incl, orig)
+            out += raw[offset + 16 : offset + 16 + incl]
+            offset += 16 + incl
+        return out
+
+    def test_big_endian_file_reads_identically(self, tiny_trace):
+        data = self._as_big_endian(tiny_trace)
+        assert read_pcap(io.BytesIO(data)) == tiny_trace
+
+    def test_big_endian_synthetic_subset(self, minute_trace):
+        subset = minute_trace.slice_packets(0, 500)
+        data = self._as_big_endian(subset)
+        assert read_pcap(io.BytesIO(data)) == subset
+
+
+class TestMalformedStreams:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError, match="magic"):
+            read_pcap(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_global_header(self):
+        with pytest.raises(PcapError, match="truncated"):
+            read_pcap(io.BytesIO(b"\xd4\xc3\xb2\xa1"))
+
+    def test_unsupported_version(self, tiny_trace):
+        buffer = io.BytesIO()
+        write_pcap(tiny_trace, buffer)
+        raw = bytearray(buffer.getvalue())
+        raw[4:6] = struct.pack("<H", 3)  # version major = 3
+        with pytest.raises(PcapError, match="version"):
+            read_pcap(io.BytesIO(bytes(raw)))
+
+    def test_unsupported_linktype(self, tiny_trace):
+        buffer = io.BytesIO()
+        write_pcap(tiny_trace, buffer)
+        raw = bytearray(buffer.getvalue())
+        raw[20:24] = struct.pack("<I", 1)  # Ethernet
+        with pytest.raises(PcapError, match="link type"):
+            read_pcap(io.BytesIO(bytes(raw)))
+
+    def test_truncated_record_header(self, tiny_trace):
+        buffer = io.BytesIO()
+        write_pcap(tiny_trace, buffer)
+        raw = buffer.getvalue()[: 24 + 8]  # half a record header
+        with pytest.raises(PcapError, match="record header"):
+            read_pcap(io.BytesIO(raw))
+
+    def test_truncated_payload(self, tiny_trace):
+        buffer = io.BytesIO()
+        write_pcap(tiny_trace, buffer)
+        raw = buffer.getvalue()[: 24 + 16 + 10]  # header + partial payload
+        with pytest.raises(PcapError, match="truncated"):
+            read_pcap(io.BytesIO(raw))
+
+    def test_non_ipv4_payload(self):
+        buffer = io.BytesIO()
+        buffer.write(
+            struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 64, LINKTYPE_RAW)
+        )
+        payload = b"\x60" + b"\x00" * 19  # IPv6 version nibble
+        buffer.write(struct.pack("<IIII", 0, 0, len(payload), 40))
+        buffer.write(payload)
+        buffer.seek(0)
+        with pytest.raises(PcapError, match="non-IPv4"):
+            read_pcap(buffer)
+
+    def test_record_below_ip_header(self):
+        buffer = io.BytesIO()
+        buffer.write(
+            struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 64, LINKTYPE_RAW)
+        )
+        buffer.write(struct.pack("<IIII", 0, 0, 8, 40))
+        buffer.write(b"\x45" + b"\x00" * 7)
+        buffer.seek(0)
+        with pytest.raises(PcapError, match="below IP header"):
+            read_pcap(buffer)

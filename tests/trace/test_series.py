@@ -1,0 +1,73 @@
+"""Per-second volume series (Table 2 inputs)."""
+
+import numpy as np
+
+from repro.trace.series import per_second_series
+from repro.trace.trace import Trace
+
+
+def make_trace(times_s, sizes):
+    return Trace(
+        timestamps_us=[int(t * 1_000_000) for t in times_s], sizes=sizes
+    )
+
+
+class TestBucketing:
+    def test_counts_per_second(self):
+        trace = make_trace([0.1, 0.2, 0.9, 1.1, 1.2, 2.5, 3.0], [40] * 7)
+        series = per_second_series(trace)
+        # Relative to first packet at 0.1 s; last packet at 3.0 marks
+        # 2 whole elapsed seconds.
+        assert series.seconds == 2
+        assert list(series.packets) == [3, 2]
+
+    def test_bytes_per_second(self):
+        trace = make_trace([0.0, 0.5, 1.2, 2.0], [100, 200, 300, 40])
+        series = per_second_series(trace)
+        assert list(series.bytes) == [300, 300]
+
+    def test_mean_size(self):
+        trace = make_trace([0.0, 0.5, 1.2, 2.0], [100, 200, 300, 40])
+        series = per_second_series(trace)
+        assert list(series.mean_size) == [150.0, 300.0]
+
+    def test_empty_second_excluded_from_mean_size(self):
+        trace = make_trace([0.0, 0.1, 2.5, 3.1], [40, 60, 80, 40])
+        series = per_second_series(trace)
+        assert list(series.packets) == [2, 0, 1]
+        assert list(series.mean_size) == [50.0, 80.0]
+
+    def test_partial_final_second_dropped(self):
+        trace = make_trace([0.0, 0.5, 0.9], [40, 40, 40])
+        series = per_second_series(trace)
+        assert series.seconds == 0
+
+    def test_short_traces(self):
+        assert per_second_series(Trace.empty()).seconds == 0
+        single = Trace(timestamps_us=[0], sizes=[40])
+        assert per_second_series(single).seconds == 0
+
+    def test_relative_to_first_packet(self):
+        trace = make_trace([100.0, 100.5, 101.2], [40, 40, 40])
+        series = per_second_series(trace)
+        assert list(series.packets) == [2]
+
+
+class TestOnSyntheticTrace:
+    def test_packets_sum_close_to_total(self, minute_trace):
+        series = per_second_series(minute_trace)
+        assert series.seconds in (59, 60)
+        assert series.packets.sum() <= len(minute_trace)
+        # All but the final partial second's packets are counted.
+        assert series.packets.sum() >= len(minute_trace) - 2 * int(
+            series.packets.max()
+        )
+
+    def test_bytes_match_sizes(self, minute_trace):
+        series = per_second_series(minute_trace)
+        assert series.bytes.sum() <= minute_trace.total_bytes
+
+    def test_mean_size_in_packet_range(self, minute_trace):
+        series = per_second_series(minute_trace)
+        assert np.all(series.mean_size >= minute_trace.sizes.min())
+        assert np.all(series.mean_size <= minute_trace.sizes.max())

@@ -1,0 +1,78 @@
+"""Sliding-window iteration."""
+
+import numpy as np
+import pytest
+
+from repro.trace.filters import sliding_windows
+from repro.trace.trace import Trace
+
+
+def regular_trace(seconds=10, pps=5):
+    n = seconds * pps
+    return Trace(
+        timestamps_us=np.linspace(
+            0, seconds * 1_000_000 - 1, n
+        ).astype(np.int64),
+        sizes=[40] * n,
+    )
+
+
+class TestSlidingWindows:
+    def test_count_and_lengths(self):
+        trace = regular_trace(seconds=10, pps=5)
+        windows = list(
+            sliding_windows(trace, length_us=2_000_000, step_us=1_000_000)
+        )
+        # Starts at 0..8 s: window [8, 10) is the last full one.
+        assert len(windows) == 9
+        assert all(len(w) == 10 for w in windows)
+
+    def test_non_overlapping(self):
+        trace = regular_trace(seconds=10, pps=5)
+        windows = list(
+            sliding_windows(trace, length_us=2_000_000, step_us=2_000_000)
+        )
+        assert len(windows) == 5
+        total = sum(len(w) for w in windows)
+        assert total == len(trace)
+
+    def test_partial_final_window_omitted(self):
+        trace = regular_trace(seconds=5, pps=4)
+        windows = list(
+            sliding_windows(trace, length_us=3_000_000, step_us=3_000_000)
+        )
+        assert len(windows) == 1
+
+    def test_anchored_at_first_packet(self):
+        trace = Trace(
+            timestamps_us=[7_000_000, 7_500_000, 8_900_000],
+            sizes=[40, 40, 40],
+        )
+        windows = list(
+            sliding_windows(trace, length_us=1_000_000, step_us=500_000)
+        )
+        assert len(windows) >= 1
+        assert windows[0].timestamps_us[0] == 7_000_000
+
+    def test_empty_trace(self):
+        assert list(sliding_windows(Trace.empty(), 1000, 1000)) == []
+
+    def test_window_longer_than_trace(self):
+        trace = regular_trace(seconds=2, pps=5)
+        assert (
+            list(sliding_windows(trace, length_us=10_000_000, step_us=1000))
+            == []
+        )
+
+    def test_validation(self):
+        trace = regular_trace()
+        with pytest.raises(ValueError, match="length"):
+            list(sliding_windows(trace, 0, 1000))
+        with pytest.raises(ValueError, match="step"):
+            list(sliding_windows(trace, 1000, 0))
+
+    def test_lazy_iteration(self):
+        trace = regular_trace(seconds=10, pps=5)
+        iterator = sliding_windows(trace, 1_000_000, 1_000_000)
+        first = next(iterator)
+        assert len(first) == 5

@@ -1,0 +1,157 @@
+"""Trace container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.trace.packet import IPPROTO_TCP, PacketRecord
+from repro.trace.trace import Trace
+
+
+class TestConstruction:
+    def test_lengths_must_match(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            Trace(timestamps_us=[0, 1], sizes=[40])
+
+    def test_timestamps_must_be_sorted(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Trace(timestamps_us=[10, 5], sizes=[40, 40])
+
+    def test_equal_timestamps_allowed(self):
+        trace = Trace(timestamps_us=[5, 5], sizes=[40, 40])
+        assert len(trace) == 2
+
+    def test_optional_columns_default(self):
+        trace = Trace(timestamps_us=[0, 1], sizes=[40, 552])
+        assert np.all(trace.protocols == IPPROTO_TCP)
+        assert np.all(trace.src_nets == 0)
+        assert np.all(trace.dst_ports == 0)
+
+    def test_mismatched_optional_column_rejected(self):
+        with pytest.raises(ValueError, match="src_nets"):
+            Trace(timestamps_us=[0, 1], sizes=[40, 40], src_nets=[1])
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Trace(timestamps_us=[[0], [1]], sizes=[[40], [40]])
+
+    def test_empty(self):
+        trace = Trace.empty()
+        assert len(trace) == 0
+        assert trace.duration_us == 0
+        assert trace.total_bytes == 0
+
+    def test_from_records_roundtrip(self, tiny_trace):
+        rebuilt = Trace.from_records(tiny_trace.records())
+        assert rebuilt == tiny_trace
+
+    def test_record_materialization(self, tiny_trace):
+        record = tiny_trace.record(5)
+        assert isinstance(record, PacketRecord)
+        assert record.size == 1500
+        assert record.timestamp_us == 3200
+
+
+class TestDerived:
+    def test_len_and_iter(self, tiny_trace):
+        assert len(tiny_trace) == 10
+        assert len(list(tiny_trace)) == 10
+
+    def test_duration(self, tiny_trace):
+        assert tiny_trace.duration_us == 7200
+
+    def test_total_bytes(self, tiny_trace):
+        assert tiny_trace.total_bytes == sum(
+            [40, 552, 40, 552, 40, 1500, 28, 552, 40, 552]
+        )
+
+    def test_interarrivals(self, tiny_trace):
+        gaps = tiny_trace.interarrivals_us()
+        assert len(gaps) == 9
+        assert gaps[0] == 1000
+        assert gaps[3] == 100
+
+    def test_interarrivals_of_short_traces(self):
+        assert Trace.empty().interarrivals_us().size == 0
+        single = Trace(timestamps_us=[5], sizes=[40])
+        assert single.interarrivals_us().size == 0
+
+    def test_repr_mentions_packet_count(self, tiny_trace):
+        assert "10 packets" in repr(tiny_trace)
+        assert repr(Trace.empty()) == "Trace(empty)"
+
+    def test_equality(self, tiny_trace):
+        assert tiny_trace == Trace.from_records(tiny_trace.records())
+        assert tiny_trace != tiny_trace.slice_packets(0, 5)
+        assert tiny_trace.__eq__(42) is NotImplemented
+
+
+class TestTransformations:
+    def test_select_basic(self, tiny_trace):
+        sub = tiny_trace.select([0, 5, 9])
+        assert len(sub) == 3
+        assert list(sub.sizes) == [40, 1500, 552]
+        assert list(sub.timestamps_us) == [0, 3200, 7200]
+
+    def test_select_preserves_all_columns(self, tiny_trace):
+        sub = tiny_trace.select([6])
+        assert sub.protocols[0] == 1
+        assert sub.src_nets[0] == 3
+        assert sub.dst_nets[0] == 1003
+
+    def test_select_empty(self, tiny_trace):
+        assert len(tiny_trace.select([])) == 0
+
+    def test_select_out_of_range(self, tiny_trace):
+        with pytest.raises(IndexError):
+            tiny_trace.select([10])
+        with pytest.raises(IndexError):
+            tiny_trace.select([-1])
+
+    def test_select_unsorted_rejected(self, tiny_trace):
+        with pytest.raises(ValueError, match="sorted"):
+            tiny_trace.select([5, 2])
+
+    def test_select_duplicates_allowed(self, tiny_trace):
+        sub = tiny_trace.select([3, 3])
+        assert len(sub) == 2
+
+    def test_slice_packets(self, tiny_trace):
+        sub = tiny_trace.slice_packets(2, 5)
+        assert len(sub) == 3
+        assert sub.timestamps_us[0] == 2000
+
+    def test_slice_open_end(self, tiny_trace):
+        assert len(tiny_trace.slice_packets(7)) == 3
+
+    def test_rebase(self, tiny_trace):
+        shifted = Trace(
+            timestamps_us=tiny_trace.timestamps_us + 500_000,
+            sizes=tiny_trace.sizes,
+        )
+        rebased = shifted.rebase()
+        assert rebased.timestamps_us[0] == 0
+        assert rebased.duration_us == tiny_trace.duration_us
+
+    def test_rebase_empty_is_noop(self):
+        empty = Trace.empty()
+        assert empty.rebase() is empty
+
+    def test_concat(self, tiny_trace):
+        a = tiny_trace.slice_packets(0, 4)
+        b = tiny_trace.slice_packets(4)
+        assert Trace.concat([a, b]) == tiny_trace
+
+    def test_concat_empty_list(self):
+        assert len(Trace.concat([])) == 0
+
+    def test_concat_requires_order(self, tiny_trace):
+        a = tiny_trace.slice_packets(5)
+        b = tiny_trace.slice_packets(0, 5)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Trace.concat([a, b])
+
+    def test_with_timestamps(self, tiny_trace):
+        new_ts = tiny_trace.timestamps_us * 2
+        doubled = tiny_trace.with_timestamps(new_ts)
+        assert doubled.duration_us == 2 * tiny_trace.duration_us
+        assert np.array_equal(doubled.sizes, tiny_trace.sizes)

@@ -1,0 +1,99 @@
+"""Trace sanity checking."""
+
+import numpy as np
+import pytest
+
+from repro.trace.trace import Trace
+from repro.trace.validate import is_clean, validate_trace
+
+
+class TestValidateTrace:
+    def test_clean_synthetic_trace(self, minute_trace):
+        assert validate_trace(minute_trace) == []
+        assert is_clean(minute_trace)
+
+    def test_clean_tiny_trace(self, tiny_trace):
+        assert validate_trace(tiny_trace) == []
+
+    def test_empty_trace_warns(self):
+        issues = validate_trace(Trace.empty())
+        assert len(issues) == 1
+        assert issues[0].severity == "warning"
+        assert "empty" in issues[0].message
+
+    def test_undersized_packets_flagged(self):
+        trace = Trace(timestamps_us=[0, 1000], sizes=[10, 40])
+        issues = validate_trace(trace)
+        assert any(
+            i.severity == "error" and "minimum" in i.message for i in issues
+        )
+        assert not is_clean(trace)
+
+    def test_oversized_packets_flagged(self):
+        trace = Trace(timestamps_us=[0, 1000], sizes=[40, 9000])
+        issues = validate_trace(trace)
+        assert any(
+            i.severity == "error" and "maximum" in i.message for i in issues
+        )
+
+    def test_capture_hole_warns(self):
+        trace = Trace(
+            timestamps_us=[0, 1000, 120_000_000], sizes=[40, 40, 40]
+        )
+        issues = validate_trace(trace)
+        assert any("capture holes" in i.message for i in issues)
+        assert is_clean(trace)  # warnings only
+
+    def test_ports_on_portless_protocol_warn(self):
+        trace = Trace(
+            timestamps_us=[0, 1000],
+            sizes=[40, 40],
+            protocols=[1, 6],
+            src_ports=[1234, 1024],
+        )
+        issues = validate_trace(trace)
+        assert any("portless" in i.message for i in issues)
+
+    def test_sparse_capture_warns(self):
+        # Ten packets spread over 100 s: almost every second is empty.
+        trace = Trace(
+            timestamps_us=np.arange(10) * 10_000_000, sizes=[40] * 10
+        )
+        issues = validate_trace(trace)
+        assert any("no packets" in i.message for i in issues)
+
+    def test_mutated_timestamps_detected(self, tiny_trace):
+        # Violating the immutability convention is exactly what the
+        # defensive ordering check exists for.
+        broken = tiny_trace.slice_packets(0, 5)
+        broken.timestamps_us[0] = 10_000_000
+        issues = validate_trace(broken)
+        assert any("non-decreasing" in i.message for i in issues)
+
+    def test_str_rendering(self):
+        issues = validate_trace(Trace.empty())
+        assert str(issues[0]).startswith("warning:")
+
+
+class TestCliValidate:
+    def test_clean_trace_exit_zero(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.trace.pcap import write_pcap
+        from repro.workload.generator import nsfnet_hour_trace
+
+        path = str(tmp_path / "t.pcap")
+        write_pcap(nsfnet_hour_trace(seed=1, duration_s=5), path)
+        assert main(["validate", path]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_dirty_trace_exit_one(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.trace.pcap import write_pcap
+
+        # A 19-byte "packet" is below the IP header minimum; the pcap
+        # container happily records it, validate must flag it.
+        trace = Trace(timestamps_us=[0, 1000], sizes=[19, 40])
+        path = str(tmp_path / "broken.pcap")
+        write_pcap(trace, path)
+        assert main(["validate", path]) == 1
+        assert "minimum" in capsys.readouterr().out

@@ -1,0 +1,109 @@
+"""The calibration contract against the published Tables 2 and 3.
+
+The strict full-hour assertion lives in the benchmark suite (it takes
+a couple of seconds of generation); here a 600-second trace is held to
+the per-packet targets, which are duration-invariant, plus relaxed
+rate-process checks.
+"""
+
+import pytest
+
+from repro.workload.calibration import (
+    CALIBRATION_TARGETS,
+    calibrate,
+    measurements,
+)
+from repro.workload.generator import nsfnet_hour_trace
+
+
+@pytest.fixture(scope="module")
+def ten_minute_trace():
+    return nsfnet_hour_trace(seed=31, duration_s=600)
+
+
+class TestMeasurements:
+    def test_all_target_keys_measured(self, ten_minute_trace):
+        measured = measurements(ten_minute_trace)
+        assert set(CALIBRATION_TARGETS) <= set(measured)
+
+    def test_quantize_flag(self, ten_minute_trace):
+        raw = nsfnet_hour_trace(seed=31, duration_s=600, quantize=False)
+        measured = measurements(raw, quantized=False)
+        # Quantization applied internally: quartiles land on the grid.
+        assert measured["iat_p25"] % 400 == 0
+
+
+class TestStructuralTargets:
+    """Exact quantile structure of the bimodal size population."""
+
+    def test_size_quantiles(self, ten_minute_trace):
+        m = measurements(ten_minute_trace)
+        assert m["size_min"] == 28
+        assert m["size_p5"] == 40
+        assert m["size_p25"] == 40
+        assert m["size_p95"] == 552
+        assert m["size_max"] == 1500
+
+    def test_size_moments(self, ten_minute_trace):
+        m = measurements(ten_minute_trace)
+        assert m["size_mean"] == pytest.approx(232, rel=0.06)
+        assert m["size_std"] == pytest.approx(236, rel=0.06)
+
+    def test_iat_moments(self, ten_minute_trace):
+        m = measurements(ten_minute_trace)
+        assert m["iat_mean"] == pytest.approx(2358, rel=0.12)
+        assert m["iat_std"] == pytest.approx(2734, rel=0.25)
+
+    def test_rate_mean(self, ten_minute_trace):
+        m = measurements(ten_minute_trace)
+        assert m["pps_mean"] == pytest.approx(424.2, rel=0.15)
+
+
+class TestFullHourContract:
+    """The strict, complete Table 2/3 contract on the real article:
+    the default full-hour population used by every benchmark."""
+
+    def test_default_hour_trace_passes_all_targets(self):
+        trace = nsfnet_hour_trace()  # seed 1993, 3600 s
+        report = calibrate(trace)
+        assert report.passed, "\n" + "\n".join(
+            str(c) for c in report.failures()
+        )
+
+    def test_alternate_seed_passes_too(self):
+        """The calibration is a property of the model, not of one
+        lucky seed."""
+        trace = nsfnet_hour_trace(seed=42)
+        report = calibrate(trace)
+        assert report.passed, "\n" + "\n".join(
+            str(c) for c in report.failures()
+        )
+
+
+class TestReport:
+    def test_report_renders(self, ten_minute_trace):
+        report = calibrate(ten_minute_trace)
+        text = str(report)
+        assert "size_mean" in text
+        assert "target" in text
+
+    def test_failures_listed(self, ten_minute_trace):
+        report = calibrate(ten_minute_trace)
+        for check in report.failures():
+            assert not check.passed
+
+    def test_exact_targets_use_equality(self):
+        from repro.workload.calibration import CalibrationCheck
+
+        check = CalibrationCheck("x", target=28, tolerance=0.0, measured=28.0)
+        assert check.passed
+        check = CalibrationCheck("x", target=28, tolerance=0.0, measured=28.4)
+        assert not check.passed
+
+    def test_relative_tolerance(self):
+        from repro.workload.calibration import CalibrationCheck
+
+        check = CalibrationCheck("x", target=100, tolerance=0.1, measured=109)
+        assert check.passed
+        check = CalibrationCheck("x", target=100, tolerance=0.1, measured=111)
+        assert not check.passed

@@ -1,0 +1,119 @@
+"""Diurnal day-trace generation and busy-hour extraction."""
+
+import numpy as np
+import pytest
+
+from repro.trace.trace import Trace
+from repro.workload.diurnal import (
+    DiurnalProfile,
+    busy_hour,
+    nsfnet_day_trace,
+)
+
+
+class TestDiurnalProfile:
+    def test_envelope_mean_one(self):
+        profile = DiurnalProfile()
+        hours = np.linspace(0, 24, 24 * 60, endpoint=False)
+        envelope = profile.envelope(hours)
+        assert envelope.mean() == pytest.approx(1.0, rel=1e-6)
+
+    def test_peak_at_configured_hour(self):
+        profile = DiurnalProfile(peak_hour=13.5)
+        hours = np.linspace(0, 24, 24 * 60, endpoint=False)
+        envelope = profile.envelope(hours)
+        peak = hours[np.argmax(envelope)]
+        assert peak == pytest.approx(13.5, abs=0.2)
+
+    def test_trough_ratio(self):
+        profile = DiurnalProfile(trough_ratio=0.3, secondary_weight=0.0)
+        hours = np.linspace(0, 24, 24 * 60, endpoint=False)
+        envelope = profile.envelope(hours)
+        assert envelope.min() / envelope.max() == pytest.approx(0.3, abs=0.02)
+
+    def test_per_second_wraps_midnight(self):
+        profile = DiurnalProfile()
+        # Starting at 23:00 for two hours crosses midnight smoothly.
+        envelope = profile.per_second_envelope(23.0, 7200)
+        assert envelope.size == 7200
+        assert np.all(np.abs(np.diff(envelope)) < 1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(peak_hour=24.0)
+        with pytest.raises(ValueError):
+            DiurnalProfile(trough_ratio=0.0)
+        with pytest.raises(ValueError):
+            DiurnalProfile(secondary_weight=1.0)
+
+
+class TestDayTrace:
+    @pytest.fixture(scope="class")
+    def day(self):
+        # Six hours spanning the overnight trough into the morning
+        # ramp, at a small rate scale to keep the test quick.
+        return nsfnet_day_trace(
+            seed=13, start_hour=2.0, duration_s=6 * 3600, rate_scale=0.05
+        )
+
+    def test_returns_trace_and_start(self, day):
+        trace, start_hour = day
+        assert isinstance(trace, Trace)
+        assert start_hour == 2.0
+        assert len(trace) > 10_000
+
+    def test_morning_ramp_visible(self, day):
+        trace, _ = day
+        seconds = (trace.timestamps_us // 1_000_000).astype(int)
+        counts = np.bincount(seconds, minlength=6 * 3600)
+        # Hour starting 02:00 (trough) vs hour starting 07:00 (ramp):
+        # the envelope ratio there is ~1.46.
+        night = counts[0:3600].mean()
+        morning = counts[5 * 3600 : 6 * 3600].mean()
+        assert morning > 1.3 * night
+
+    def test_quantized_by_default(self, day):
+        trace, _ = day
+        assert np.all(trace.timestamps_us % 400 == 0)
+
+    def test_rate_scale_validation(self):
+        with pytest.raises(ValueError):
+            nsfnet_day_trace(duration_s=10, rate_scale=0.0)
+
+    def test_deterministic(self):
+        a, _ = nsfnet_day_trace(seed=5, duration_s=60, rate_scale=0.05)
+        b, _ = nsfnet_day_trace(seed=5, duration_s=60, rate_scale=0.05)
+        assert a == b
+
+
+class TestBusyHour:
+    def test_extracts_requested_hour(self):
+        trace, start = nsfnet_day_trace(
+            seed=14, start_hour=12.0, duration_s=3 * 3600, rate_scale=0.05
+        )
+        hour = busy_hour(trace, start, hour_of_day=13)
+        assert len(hour) > 0
+        # The cut is the second hour of the trace.
+        assert hour.timestamps_us[0] >= 3600 * 1_000_000
+        assert hour.timestamps_us[-1] < 2 * 3600 * 1_000_000
+
+    def test_hour_wraps_midnight(self):
+        trace, start = nsfnet_day_trace(
+            seed=15, start_hour=23.0, duration_s=2 * 3600, rate_scale=0.05
+        )
+        hour = busy_hour(trace, start, hour_of_day=0)
+        assert len(hour) > 0
+        assert hour.timestamps_us[0] >= 3600 * 1_000_000
+
+    def test_absent_hour_is_empty(self):
+        trace, start = nsfnet_day_trace(
+            seed=16, start_hour=2.0, duration_s=3600, rate_scale=0.05
+        )
+        assert len(busy_hour(trace, start, hour_of_day=13)) == 0
+
+    def test_validation(self):
+        trace, start = nsfnet_day_trace(
+            seed=17, start_hour=0.0, duration_s=60, rate_scale=0.05
+        )
+        with pytest.raises(ValueError):
+            busy_hour(trace, start, hour_of_day=24)

@@ -1,0 +1,84 @@
+"""The FIX-West environment preset (paper footnote 3)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.describe import describe
+from repro.workload.generator import fixwest_hour_trace
+from repro.workload.mix import fixwest_mix, nsfnet_mix
+
+
+class TestFixwestMix:
+    def test_distinct_from_enss(self):
+        assert fixwest_mix().packet_fractions != nsfnet_mix().packet_fractions
+
+    def test_same_bimodal_structure(self):
+        """Both environments share the ACK/bulk bimodality."""
+        mix = fixwest_mix()
+        by_name = {c.name: c for c in mix.components}
+        assert by_name["ack"].sizes.mean() == 40
+        assert by_name["nntp"].sizes.mean() > 500
+
+    def test_heavier_bulk_share(self):
+        assert (
+            fixwest_mix().packet_fractions["nntp"]
+            > nsfnet_mix().packet_fractions["bulk"]
+        )
+
+    def test_fractions_normalized(self):
+        assert sum(fixwest_mix().packet_fractions.values()) == pytest.approx(1.0)
+
+
+class TestFixwestTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return fixwest_hour_trace(seed=5, duration_s=120)
+
+    def test_busier_than_enss(self, trace):
+        rate = len(trace) / 120
+        assert rate > 450  # exchange point: ~620 pps nominal
+
+    def test_quantized(self, trace):
+        assert np.all(trace.timestamps_us % 400 == 0)
+
+    def test_still_bimodal(self, trace):
+        d = describe(trace.sizes)
+        assert d.p25 == 40
+        assert d.p95 == 552
+
+    def test_deterministic(self):
+        a = fixwest_hour_trace(seed=3, duration_s=20)
+        b = fixwest_hour_trace(seed=3, duration_s=20)
+        assert a == b
+
+    def test_does_not_satisfy_enss_calibration(self, trace):
+        """FIX-West is a *different* environment: it must not pass the
+        ENSS Table 2/3 contract (otherwise the cross-environment check
+        would be vacuous)."""
+        from repro.workload.calibration import calibrate
+
+        report = calibrate(trace)
+        assert not report.passed
+        failing = {c.name for c in report.failures()}
+        # It fails on rate (busier) at minimum.
+        assert "pps_mean" in failing
+
+    def test_headline_result_transfers(self, trace):
+        """Timer methods lose on FIX-West too (footnote 3)."""
+        from repro.core.evaluation.experiment import ExperimentGrid
+
+        grid = ExperimentGrid(
+            methods=("systematic", "timer-systematic"),
+            granularities=(64,),
+            replications=3,
+            seed=4,
+        )
+        result = grid.run(trace)
+        for target in ("packet-size", "interarrival"):
+            packet = result.filter(
+                target=target, method="systematic"
+            ).mean_phi()
+            timer = result.filter(
+                target=target, method="timer-systematic"
+            ).mean_phi()
+            assert timer > packet

@@ -1,0 +1,103 @@
+"""Flow-identity assignment."""
+
+import numpy as np
+import pytest
+
+from repro.workload.flows import (
+    DST_NET_BASE,
+    SRC_NET_BASE,
+    FlowPool,
+    zipf_probabilities,
+)
+from repro.workload.mix import nsfnet_mix
+
+
+class TestZipf:
+    def test_normalized(self):
+        probs = zipf_probabilities(100)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(50, exponent=1.2)
+        assert np.all(np.diff(probs) < 0)
+
+    def test_exponent_zero_is_uniform(self):
+        probs = zipf_probabilities(10, exponent=0.0)
+        assert np.allclose(probs, 0.1)
+
+    def test_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0)
+
+
+class TestFlowPool:
+    @pytest.fixture()
+    def pool(self) -> FlowPool:
+        return FlowPool(nsfnet_mix(), rng=np.random.default_rng(42))
+
+    def test_assign_shapes(self, pool, rng):
+        comp = np.array([0, 0, 1, 1, 1, 4, 4])
+        src, dst, sport, dport = pool.assign(comp, rng)
+        assert src.shape == comp.shape
+        assert dst.shape == comp.shape
+
+    def test_trains_share_conversation(self, pool, rng):
+        comp = np.array([4, 4, 4, 4, 0, 0])
+        src, dst, sport, dport = pool.assign(comp, rng)
+        # First four packets (one bulk train) share all identity fields.
+        assert len(set(src[:4])) == 1
+        assert len(set(dst[:4])) == 1
+        assert len(set(sport[:4])) == 1
+
+    def test_network_number_ranges(self, pool, rng):
+        comp = np.zeros(500, dtype=np.int64)
+        comp[::2] = 1  # alternate to split trains
+        src, dst, _sport, _dport = pool.assign(comp, rng)
+        assert src.min() >= SRC_NET_BASE
+        assert dst.min() >= DST_NET_BASE
+
+    def test_server_ports_match_component(self, pool, rng):
+        mix = nsfnet_mix()
+        telnet_index = [c.name for c in mix.components].index("telnet")
+        comp = np.full(10, telnet_index)
+        _src, _dst, _sport, dport = pool.assign(comp, rng)
+        assert np.all(dport == 23)
+
+    def test_icmp_has_no_ports(self, pool, rng):
+        mix = nsfnet_mix()
+        icmp_index = [c.name for c in mix.components].index("icmp")
+        comp = np.full(5, icmp_index)
+        _src, _dst, sport, dport = pool.assign(comp, rng)
+        assert np.all(sport == 0)
+        assert np.all(dport == 0)
+
+    def test_popularity_skew(self, pool, rng):
+        """Zipf selection should concentrate traffic on few dst nets."""
+        comp = np.arange(40_000) % 2  # alternating singleton trains
+        _src, dst, _sport, _dport = pool.assign(comp, rng)
+        _values, counts = np.unique(dst, return_counts=True)
+        shares = np.sort(counts)[::-1] / counts.sum()
+        assert shares[:5].sum() > 0.3
+
+    def test_empty_assignment(self, pool, rng):
+        src, dst, sport, dport = pool.assign(np.empty(0, dtype=np.int64), rng)
+        assert src.size == 0
+
+    def test_deterministic_tables(self, rng):
+        mix = nsfnet_mix()
+        a = FlowPool(mix, rng=np.random.default_rng(7))
+        b = FlowPool(mix, rng=np.random.default_rng(7))
+        comp = np.array([0, 1, 2, 3])
+        out_a = a.assign(comp, np.random.default_rng(9))
+        out_b = b.assign(comp, np.random.default_rng(9))
+        for col_a, col_b in zip(out_a, out_b):
+            assert np.array_equal(col_a, col_b)
+
+    def test_validation(self):
+        mix = nsfnet_mix()
+        with pytest.raises(ValueError):
+            FlowPool(mix, n_src_nets=0)
+        with pytest.raises(ValueError):
+            FlowPool(mix, n_dst_nets=0)
+        with pytest.raises(ValueError):
+            FlowPool(mix, conversations_per_component=0)

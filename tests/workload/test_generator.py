@@ -1,0 +1,80 @@
+"""End-to-end trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.trace.packet import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP
+from repro.workload.generator import TraceGenerator, nsfnet_hour_trace
+
+
+class TestTraceGenerator:
+    def test_deterministic_for_seed(self):
+        a = TraceGenerator(seed=55, duration_s=20).generate()
+        b = TraceGenerator(seed=55, duration_s=20).generate()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = TraceGenerator(seed=1, duration_s=20).generate()
+        b = TraceGenerator(seed=2, duration_s=20).generate()
+        assert a != b
+
+    def test_zero_duration(self):
+        trace = TraceGenerator(seed=1, duration_s=0).generate()
+        assert len(trace) == 0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(seed=1, duration_s=-5).generate()
+
+    def test_expected_packet_count(self):
+        trace = TraceGenerator(seed=3, duration_s=60).generate()
+        # ~424 pps nominal; wide tolerance for the AR(1) wander.
+        assert 15_000 < len(trace) < 40_000
+
+    def test_duration_approximately_requested(self):
+        trace = TraceGenerator(seed=4, duration_s=30).generate()
+        assert trace.duration_us == pytest.approx(30e6, rel=0.05)
+
+    def test_all_columns_populated(self):
+        trace = TraceGenerator(seed=5, duration_s=10).generate()
+        assert trace.sizes.min() >= 28
+        assert trace.sizes.max() <= 1500
+        assert set(np.unique(trace.protocols)) <= {
+            IPPROTO_TCP,
+            IPPROTO_UDP,
+            IPPROTO_ICMP,
+        }
+        assert trace.src_nets.min() >= 1
+        assert trace.dst_nets.min() >= 1001
+
+    def test_ports_consistent_with_protocol(self):
+        trace = TraceGenerator(seed=6, duration_s=10).generate()
+        icmp = trace.protocols == IPPROTO_ICMP
+        assert np.all(trace.src_ports[icmp] == 0)
+        assert np.all(trace.dst_ports[icmp] == 0)
+        tcp = trace.protocols == IPPROTO_TCP
+        assert np.all(trace.src_ports[tcp] >= 1024)
+
+    def test_homogeneous_mix_mode(self):
+        trace = TraceGenerator(seed=7, duration_s=10, mix_sigma=0.0).generate()
+        assert len(trace) > 1000
+
+    def test_timestamps_sorted(self):
+        trace = TraceGenerator(seed=8, duration_s=15).generate()
+        assert np.all(np.diff(trace.timestamps_us) >= 0)
+
+
+class TestNsfnetHourTrace:
+    def test_quantized_by_default(self):
+        trace = nsfnet_hour_trace(seed=9, duration_s=10)
+        assert np.all(trace.timestamps_us % 400 == 0)
+
+    def test_unquantized_option(self):
+        trace = nsfnet_hour_trace(seed=9, duration_s=10, quantize=False)
+        assert np.any(trace.timestamps_us % 400 != 0)
+
+    def test_quantization_preserves_packets(self):
+        raw = nsfnet_hour_trace(seed=9, duration_s=10, quantize=False)
+        quantized = nsfnet_hour_trace(seed=9, duration_s=10)
+        assert len(raw) == len(quantized)
+        assert np.array_equal(raw.sizes, quantized.sizes)

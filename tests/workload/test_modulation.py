@@ -1,0 +1,103 @@
+"""Per-second application-mix modulation."""
+
+import numpy as np
+import pytest
+
+from repro.workload.mix import nsfnet_mix
+from repro.workload.modulation import MixModulator
+
+
+@pytest.fixture()
+def modulator() -> MixModulator:
+    return MixModulator(mix=nsfnet_mix())
+
+
+class TestHeavyDetection:
+    def test_default_heavy_components(self, modulator):
+        assert "bulk" in modulator.heavy_components
+        assert "smtp" in modulator.heavy_components
+        assert "ack" not in modulator.heavy_components
+
+    def test_explicit_heavy_components(self):
+        m = MixModulator(mix=nsfnet_mix(), heavy_components=("bulk",))
+        assert m.heavy_components == ("bulk",)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            MixModulator(mix=nsfnet_mix(), heavy_components=("nope",))
+
+
+class TestMultipliers:
+    def test_positive(self, modulator, rng):
+        z = np.zeros(100)
+        mult = modulator.multipliers(z, rng)
+        assert np.all(mult > 0)
+
+    def test_sigma_zero_constant(self, rng):
+        m = MixModulator(mix=nsfnet_mix(), sigma=0.0)
+        mult = m.multipliers(np.zeros(50), rng)
+        assert np.allclose(mult, mult[0])
+
+    def test_load_correlation(self, rng):
+        m = MixModulator(mix=nsfnet_mix(), sigma=0.5, load_correlation=0.9)
+        z_load = np.random.default_rng(1).standard_normal(20_000)
+        mult = m.multipliers(z_load, rng)
+        corr = np.corrcoef(z_load, np.log(mult))[0, 1]
+        assert corr == pytest.approx(0.9, abs=0.05)
+
+    def test_empty(self, modulator, rng):
+        assert modulator.multipliers(np.empty(0), rng).size == 0
+
+
+class TestProbabilities:
+    def test_rows_sum_to_one(self, modulator, rng):
+        z = np.random.default_rng(2).standard_normal(500)
+        probs = modulator.probabilities(z, rng)
+        assert probs.shape == (500, len(nsfnet_mix().components))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_all_probabilities_valid(self, modulator, rng):
+        z = np.random.default_rng(3).standard_normal(500)
+        probs = modulator.probabilities(z, rng)
+        assert np.all(probs >= 0)
+        assert np.all(probs <= 1)
+
+    def test_mean_preservation(self, rng):
+        """The correction keeps the long-run heavy share at the base."""
+        mix = nsfnet_mix()
+        m = MixModulator(mix=mix, sigma=0.45, load_correlation=0.0)
+        z = np.random.default_rng(4).standard_normal(200_000)
+        probs = m.probabilities(z, rng)
+        heavy = m._heavy_mask()
+        base_heavy = mix.train_probabilities[heavy].sum()
+        assert probs[:, heavy].sum(axis=1).mean() == pytest.approx(
+            base_heavy, rel=0.03
+        )
+
+    def test_heavy_share_varies(self, modulator, rng):
+        z = np.random.default_rng(5).standard_normal(5000)
+        probs = modulator.probabilities(z, rng)
+        heavy = modulator._heavy_mask()
+        shares = probs[:, heavy].sum(axis=1)
+        assert shares.std() > 0.02
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        mix = nsfnet_mix()
+        with pytest.raises(ValueError):
+            MixModulator(mix=mix, sigma=-0.1)
+        with pytest.raises(ValueError):
+            MixModulator(mix=mix, load_correlation=1.5)
+        with pytest.raises(ValueError):
+            MixModulator(mix=mix, autocorrelation=1.0)
+
+    def test_mix_without_heavy_components_rejected(self):
+        from repro.workload.mix import ApplicationComponent, ApplicationMix
+        from repro.workload.sizes import ConstantSize
+
+        small_only = ApplicationMix(
+            [ApplicationComponent("ack", 1.0, ConstantSize(40), 1.0)]
+        )
+        with pytest.raises(ValueError, match="heavy"):
+            MixModulator(mix=small_only)

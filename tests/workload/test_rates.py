@@ -1,0 +1,105 @@
+"""Non-stationary rate process marginals and dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.describe import describe
+from repro.workload.rates import RateProcess, _sigma_for_skewness
+
+
+class TestSigmaInversion:
+    def test_round_trip(self):
+        import math
+
+        for target in (0.3, 0.96, 2.0, 5.0):
+            sigma = _sigma_for_skewness(target)
+            w = math.exp(sigma * sigma)
+            skew = (w + 2.0) * math.sqrt(w - 1.0)
+            assert skew == pytest.approx(target, rel=1e-6)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            _sigma_for_skewness(0.0)
+
+
+class TestMarginal:
+    def test_table2_moments(self):
+        rng = np.random.default_rng(9)
+        rates = RateProcess().generate(100_000, rng)
+        d = describe(rates)
+        assert d.mean == pytest.approx(424.2, rel=0.02)
+        assert d.std == pytest.approx(85.1, rel=0.05)
+        assert d.skewness == pytest.approx(0.96, rel=0.15)
+
+    def test_custom_moments(self):
+        rng = np.random.default_rng(10)
+        process = RateProcess(mean=100.0, std=20.0, skewness=0.5)
+        rates = process.generate(100_000, rng)
+        assert rates.mean() == pytest.approx(100.0, rel=0.02)
+        assert rates.std() == pytest.approx(20.0, rel=0.05)
+
+    def test_floor_respected(self):
+        rng = np.random.default_rng(11)
+        process = RateProcess(mean=5.0, std=20.0, skewness=0.9, floor=1.0)
+        rates = process.generate(10_000, rng)
+        assert rates.min() >= 1.0
+
+    def test_all_positive(self):
+        rng = np.random.default_rng(12)
+        rates = RateProcess().generate(50_000, rng)
+        assert rates.min() > 0
+
+
+class TestDynamics:
+    def test_autocorrelation_present(self):
+        rng = np.random.default_rng(13)
+        process = RateProcess(autocorrelation=0.9)
+        z = process.generate_innovations(50_000, rng)
+        lag1 = np.corrcoef(z[:-1], z[1:])[0, 1]
+        assert lag1 == pytest.approx(0.9, abs=0.02)
+
+    def test_zero_autocorrelation(self):
+        rng = np.random.default_rng(14)
+        process = RateProcess(autocorrelation=0.0)
+        z = process.generate_innovations(50_000, rng)
+        lag1 = np.corrcoef(z[:-1], z[1:])[0, 1]
+        assert abs(lag1) < 0.02
+
+    def test_innovations_are_standard_normal(self):
+        rng = np.random.default_rng(15)
+        z = RateProcess().generate_innovations(100_000, rng)
+        assert z.mean() == pytest.approx(0.0, abs=0.05)
+        assert z.std() == pytest.approx(1.0, abs=0.05)
+
+    def test_rates_from_innovations_is_deterministic(self):
+        process = RateProcess()
+        z = np.array([0.0, 1.0, -1.0])
+        assert np.array_equal(
+            process.rates_from_innovations(z), process.rates_from_innovations(z)
+        )
+
+    def test_generate_reproducible(self):
+        a = RateProcess().generate(100, np.random.default_rng(7))
+        b = RateProcess().generate(100, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestValidation:
+    def test_bad_moments(self):
+        with pytest.raises(ValueError):
+            RateProcess(mean=-1.0)
+        with pytest.raises(ValueError):
+            RateProcess(std=0.0)
+
+    def test_bad_autocorrelation(self):
+        with pytest.raises(ValueError):
+            RateProcess(autocorrelation=1.0)
+        with pytest.raises(ValueError):
+            RateProcess(autocorrelation=-0.1)
+
+    def test_negative_duration(self):
+        with pytest.raises(ValueError):
+            RateProcess().generate(-1, np.random.default_rng(0))
+
+    def test_zero_duration(self):
+        assert RateProcess().generate(0, np.random.default_rng(0)).size == 0

@@ -1,0 +1,98 @@
+"""Packet-size distribution primitives."""
+
+import numpy as np
+import pytest
+
+from repro.workload.sizes import (
+    ConstantSize,
+    DiscreteSize,
+    UniformSize,
+    mixture_mean,
+)
+
+
+class TestConstantSize:
+    def test_draw(self, rng):
+        sizes = ConstantSize(40).draw(100, rng)
+        assert np.all(sizes == 40)
+        assert sizes.dtype == np.int32
+
+    def test_mean(self):
+        assert ConstantSize(552).mean() == 552.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ConstantSize(10)
+        with pytest.raises(ValueError):
+            ConstantSize(10_000)
+
+
+class TestUniformSize:
+    def test_range_inclusive(self, rng):
+        sizes = UniformSize(41, 80).draw(5000, rng)
+        assert sizes.min() >= 41
+        assert sizes.max() <= 80
+        assert 41 in sizes and 80 in sizes
+
+    def test_mean(self):
+        assert UniformSize(41, 80).mean() == 60.5
+
+    def test_degenerate_range(self, rng):
+        sizes = UniformSize(100, 100).draw(10, rng)
+        assert np.all(sizes == 100)
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            UniformSize(80, 41)
+
+    def test_empirical_mean(self, rng):
+        sizes = UniformSize(181, 551).draw(20_000, rng)
+        assert sizes.mean() == pytest.approx(366, rel=0.02)
+
+
+class TestDiscreteSize:
+    def test_only_listed_sizes(self, rng):
+        dist = DiscreteSize(sizes=(552, 296), weights=(0.9, 0.1))
+        drawn = dist.draw(1000, rng)
+        assert set(np.unique(drawn)) <= {552, 296}
+
+    def test_weights_respected(self, rng):
+        dist = DiscreteSize(sizes=(552, 296), weights=(0.9, 0.1))
+        drawn = dist.draw(50_000, rng)
+        assert (drawn == 552).mean() == pytest.approx(0.9, abs=0.02)
+
+    def test_mean(self):
+        dist = DiscreteSize(sizes=(100, 200), weights=(0.5, 0.5))
+        assert dist.mean() == 150.0
+
+    def test_unnormalized_weights_ok(self):
+        dist = DiscreteSize(sizes=(100, 200), weights=(2.0, 2.0))
+        assert dist.mean() == 150.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteSize(sizes=(), weights=())
+        with pytest.raises(ValueError):
+            DiscreteSize(sizes=(40,), weights=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            DiscreteSize(sizes=(40,), weights=(-1.0,))
+        with pytest.raises(ValueError):
+            DiscreteSize(sizes=(10,), weights=(1.0,))
+
+
+class TestMixtureMean:
+    def test_weighted_average(self):
+        mean = mixture_mean(
+            [ConstantSize(40), ConstantSize(552)], weights=[0.5, 0.5]
+        )
+        assert mean == 296.0
+
+    def test_unnormalized_weights(self):
+        mean = mixture_mean(
+            [ConstantSize(40), ConstantSize(552)], weights=[3, 1]
+        )
+        assert mean == pytest.approx(0.75 * 40 + 0.25 * 552)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            mixture_mean([ConstantSize(40)], weights=[0.0])
