@@ -8,7 +8,9 @@ Nine subcommands cover the everyday workflow:
 * ``sample`` — apply one sampling method to a trace and score it;
 * ``experiment`` — run a method x granularity sweep and print the
   mean-phi series (a small Figure 8/9 on your own data), optionally
-  saving every scored sample to CSV;
+  saving every scored sample to CSV; ``--jobs N`` parallelizes the
+  sweep and ``--run-dir``/``--resume`` make it checkpointed and
+  resumable;
 * ``samplesize`` — Cochran sample-size planning for a trace's mean
   size/interarrival (Section 5.1);
 * ``netmon`` — run a trace through a simulated collection node and
@@ -108,7 +110,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         seed=args.seed,
         targets=(_TARGETS[args.target],),
     )
-    result = grid.run(trace)
+    result = grid.run(
+        trace,
+        jobs=args.jobs,
+        run_dir=args.run_dir or None,
+        resume=args.resume,
+    )
     columns = {
         method: mean_phi_series(result, args.target, method)
         for method in args.methods
@@ -209,6 +216,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         phi_budget=args.phi_budget,
         replications=args.replications,
         seed=args.seed,
+        jobs=args.jobs,
+        run_dir=args.run_dir or None,
+        resume=args.resume,
     )
     print(report.render())
     return 0
@@ -257,6 +267,27 @@ def _cmd_netmon(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution-engine controls shared by sweep-running subcommands."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (results are identical "
+        "at any worker count)",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default="",
+        help="directory for the checkpoint journal and run manifest",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards already completed in --run-dir's checkpoint",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -299,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "--save", default="", help="write every scored sample to this CSV"
     )
+    _add_engine_flags(exp)
     exp.set_defaults(func=_cmd_experiment)
 
     size = sub.add_parser(
@@ -341,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--phi-budget", type=float, default=0.05)
     rep.add_argument("--replications", type=int, default=5)
     rep.add_argument("--seed", type=int, default=0)
+    _add_engine_flags(rep)
     rep.set_defaults(func=_cmd_reproduce)
 
     fid = sub.add_parser(

@@ -28,17 +28,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.evaluation.comparison import (
-    SampleScore,
-    population_proportions,
-    score_sample,
-)
+from repro.core.evaluation.comparison import SampleScore
 from repro.core.evaluation.targets import (
     CharacterizationTarget,
     PAPER_TARGETS,
 )
-from repro.core.sampling.factory import METHOD_NAMES, make_sampler
-from repro.trace.filters import prefix_interval
+from repro.core.sampling.factory import METHOD_NAMES
 from repro.trace.trace import Trace
 
 #: The paper's granularity ladder: "exponentially decreasing sampling
@@ -122,7 +117,9 @@ class ExperimentGrid:
         Samples per cell; the paper used five.
     seed:
         Seed controlling phases and random selections; a grid with the
-        same seed reproduces exactly.
+        same seed reproduces exactly.  Each sweep cell derives its own
+        RNG from (seed, cell key), so results are independent of
+        execution order and identical at any worker count.
     score_against:
         ``"interval"`` or ``"full"`` (see module docstring).
     """
@@ -149,55 +146,38 @@ class ExperimentGrid:
         if any(g < 1 for g in self.granularities):
             raise ValueError("granularities must be >= 1")
 
-    def run(self, trace: Trace) -> ExperimentResult:
-        """Execute the sweep on a parent trace."""
-        rng = np.random.default_rng(self.seed)
-        full_proportions = {
-            t.name: population_proportions(trace, t) for t in self.targets
-        }
-        records: List[ExperimentRecord] = []
-        for interval_us in self.intervals_us:
-            window = (
-                trace if interval_us is None else prefix_interval(trace, interval_us)
-            )
-            if not len(window):
-                continue
-            if self.score_against == "full":
-                proportions = full_proportions
-            else:
-                proportions = {
-                    t.name: population_proportions(window, t)
-                    for t in self.targets
-                }
-            window_values = {
-                t.name: t.attribute_values(window) for t in self.targets
-            }
-            for method in self.methods:
-                for granularity in self.granularities:
-                    for replication in range(self.replications):
-                        sampler = make_sampler(
-                            method, granularity, trace=window, rng=rng
-                        )
-                        result = sampler.sample(window, rng=rng)
-                        for target in self.targets:
-                            score = score_sample(
-                                window,
-                                result,
-                                target,
-                                proportions=proportions[target.name],
-                                attribute_values=window_values[target.name],
-                            )
-                            records.append(
-                                ExperimentRecord(
-                                    target=target.name,
-                                    method=method,
-                                    granularity=granularity,
-                                    interval_us=interval_us,
-                                    replication=replication,
-                                    score=score,
-                                )
-                            )
-        return ExperimentResult(records=tuple(records))
+    def run(
+        self,
+        trace: Trace,
+        jobs: int = 1,
+        run_dir: Optional[str] = None,
+        resume: bool = False,
+    ) -> ExperimentResult:
+        """Execute the sweep on a parent trace.
+
+        Execution is delegated to :mod:`repro.engine`, which expands
+        the grid into independent shards (one per interval × method ×
+        granularity × replication cell) and runs them inline or on a
+        worker pool.  Results are bit-identical for any ``jobs``.
+
+        Parameters
+        ----------
+        trace:
+            The parent population.
+        jobs:
+            Worker processes; ``1`` executes inline.
+        run_dir:
+            Directory for the checkpoint journal and run manifest;
+            required for ``resume``.
+        resume:
+            Skip shards already journaled in ``run_dir`` by a previous
+            (interrupted) run of the same grid on the same trace.
+        """
+        from repro.engine.runner import run_grid
+
+        return run_grid(
+            self, trace, jobs=jobs, run_dir=run_dir, resume=resume
+        )
 
 
 def phi_values(

@@ -148,6 +148,9 @@ def reproduce_study(
     replications: int = 5,
     seed: int = 0,
     methods: Sequence[str] = METHOD_NAMES,
+    jobs: int = 1,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> StudyReport:
     """Run the paper's analysis families on one trace.
 
@@ -163,6 +166,11 @@ def reproduce_study(
         Budget for the final configuration recommendation.
     replications, seed, methods:
         Passed to the sweep grid.
+    jobs, run_dir, resume:
+        Execution-engine controls for the φ sweep (the dominant cost):
+        worker count, checkpoint/manifest directory, and whether to
+        skip shards journaled by an interrupted run.  See
+        :mod:`repro.engine`.
     """
     if len(trace) < 1000:
         raise ValueError(
@@ -187,7 +195,7 @@ def reproduce_study(
         replications=replications,
         seed=seed,
     )
-    sweep = grid.run(trace)
+    sweep = grid.run(trace, jobs=jobs, run_dir=run_dir, resume=resume)
     checks = chi_square_phase_check(
         trace, granularity=50, phases=10 if quick else 50
     )

@@ -6,6 +6,7 @@ pair becomes a configured sampler, including the timer methods' need
 to derive their period from the trace being sampled.
 """
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -87,6 +88,42 @@ def make_sampler(
     raise ValueError(
         "unknown sampling method %r; expected one of %s" % (method, METHOD_NAMES)
     )
+
+
+@dataclass(frozen=True)
+class SamplerSpec:
+    """A picklable recipe for building a sampler.
+
+    Configured :class:`~repro.core.sampling.base.Sampler` objects can
+    carry trace-derived state (timer periods, drawn phases), which is
+    exactly what must *not* cross a process boundary: the execution
+    engine ships (method, granularity) pairs to workers and lets each
+    worker build the sampler against its own view of the trace, with
+    its own cell-seeded RNG.  The spec is the unit of transport.
+    """
+
+    method: str
+    granularity: int
+
+    def __post_init__(self) -> None:
+        if self.method not in METHOD_NAMES:
+            raise ValueError(
+                "unknown sampling method %r; expected one of %s"
+                % (self.method, METHOD_NAMES)
+            )
+        if self.granularity < 1:
+            raise ValueError("granularity must be >= 1")
+
+    def build(
+        self,
+        trace: Optional[Trace] = None,
+        phase: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Sampler:
+        """Materialize the sampler (see :func:`make_sampler`)."""
+        return make_sampler(
+            self.method, self.granularity, trace=trace, phase=phase, rng=rng
+        )
 
 
 def paper_methods(

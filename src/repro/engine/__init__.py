@@ -1,0 +1,60 @@
+"""Parallel, resumable experiment execution engine.
+
+The Section 7 sweep is an embarrassingly parallel grid — interval ×
+method × granularity × replication — that the original harness executed
+serially.  This subpackage runs it as a sharded task graph instead:
+
+* :mod:`repro.engine.planner` expands a grid into independent
+  :class:`~repro.engine.planner.Shard` cells, each with an RNG seeded
+  from its *cell key* so results never depend on execution order;
+* :mod:`repro.engine.sharedtrace` ships the parent trace to workers
+  once through ``multiprocessing.shared_memory`` (zero-copy NumPy
+  views, no per-task pickling of packet columns);
+* :mod:`repro.engine.checkpoint` journals completed shards to JSONL so
+  an interrupted sweep resumes where it stopped;
+* :mod:`repro.engine.telemetry` records per-shard wall time,
+  throughput, and worker utilization into the run manifest;
+* :mod:`repro.engine.runner` schedules it all.
+
+The engine's contract: for a given grid and trace, the merged result is
+**bit-identical** across ``jobs=1``, ``jobs=N``, and any
+interrupt/resume sequence.  ``ExperimentGrid.run(trace, jobs=4)`` and
+the CLI's ``--jobs/--resume/--run-dir`` flags are thin wrappers over
+:func:`run_grid`.
+"""
+
+from repro.engine.checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    record_from_json,
+    record_to_json,
+)
+from repro.engine.planner import GridPlanner, Shard, shard_rng, shard_seed
+from repro.engine.runner import ParallelRunner, run_grid
+from repro.engine.sharedtrace import (
+    SharedTraceBuffer,
+    SharedTraceSpec,
+    attach_trace,
+)
+from repro.engine.telemetry import RunTelemetry, ShardTiming
+from repro.engine.worker import ShardContext, execute_shard
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointJournal",
+    "record_from_json",
+    "record_to_json",
+    "GridPlanner",
+    "Shard",
+    "shard_rng",
+    "shard_seed",
+    "ParallelRunner",
+    "run_grid",
+    "SharedTraceBuffer",
+    "SharedTraceSpec",
+    "attach_trace",
+    "RunTelemetry",
+    "ShardTiming",
+    "ShardContext",
+    "execute_shard",
+]

@@ -1,0 +1,200 @@
+"""Crash-safe journal of completed shards.
+
+A long sweep on a big trace should never have to start over: the engine
+appends one JSON line per completed shard to ``checkpoint.jsonl`` in
+the run directory, flushed and fsynced before the shard is considered
+done.  A resumed run replays the journal, skips every shard it already
+holds, and merges journaled records with freshly computed ones.
+
+Because shard RNGs are derived from cell keys (see
+:mod:`repro.engine.planner`), replayed records are bit-identical to
+what re-execution would have produced — JSON float serialization
+round-trips exactly in Python 3 — so a resumed sweep equals an
+uninterrupted one down to the last bit.
+
+The journal's first line is a header holding the planner fingerprint;
+resuming against a different grid or trace is refused outright.
+"""
+
+import json
+import os
+from typing import Dict, IO, List, Optional
+
+import numpy as np
+
+from repro.core.evaluation.comparison import SampleScore
+from repro.core.evaluation.experiment import ExperimentRecord
+from repro.core.metrics.registry import DisparityScores
+
+#: Journal schema version, bumped on any incompatible change.
+JOURNAL_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """Raised when a journal is unusable for the requested resume."""
+
+
+def record_to_json(record: ExperimentRecord) -> dict:
+    """One scored record as a JSON-able dict (lossless)."""
+    score = record.score
+    return {
+        "target": record.target,
+        "method": record.method,
+        "granularity": record.granularity,
+        "interval_us": record.interval_us,
+        "replication": record.replication,
+        "parameters": dict(score.parameters),
+        "sample_size": score.sample_size,
+        "fraction": score.fraction,
+        "observed": [int(c) for c in score.observed],
+        "scores": {
+            "chi2": score.scores.chi2,
+            "significance": score.scores.significance,
+            "cost": score.scores.cost,
+            "rcost": score.scores.rcost,
+            "x2": score.scores.x2,
+            "k": score.scores.k,
+            "phi": score.scores.phi,
+        },
+    }
+
+
+def record_from_json(payload: dict) -> ExperimentRecord:
+    """Inverse of :func:`record_to_json`."""
+    metrics = payload["scores"]
+    scores = DisparityScores(
+        chi2=metrics["chi2"],
+        significance=metrics["significance"],
+        cost=metrics["cost"],
+        rcost=metrics["rcost"],
+        x2=metrics["x2"],
+        k=metrics["k"],
+        phi=metrics["phi"],
+        sample_size=payload["sample_size"],
+        fraction=payload["fraction"],
+    )
+    score = SampleScore(
+        target=payload["target"],
+        method=payload["method"],
+        parameters=dict(payload["parameters"]),
+        sample_size=payload["sample_size"],
+        fraction=payload["fraction"],
+        observed=np.asarray(payload["observed"], dtype=np.int64),
+        scores=scores,
+    )
+    return ExperimentRecord(
+        target=payload["target"],
+        method=payload["method"],
+        granularity=payload["granularity"],
+        interval_us=payload["interval_us"],
+        replication=payload["replication"],
+        score=score,
+    )
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal under a run directory."""
+
+    FILENAME = "checkpoint.jsonl"
+
+    def __init__(self, run_dir: str, fingerprint: str) -> None:
+        os.makedirs(run_dir, exist_ok=True)
+        self.path = os.path.join(run_dir, self.FILENAME)
+        self.fingerprint = fingerprint
+        self._stream: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    # reading
+
+    def load(self) -> Dict[str, List[ExperimentRecord]]:
+        """Completed shards from a previous run, keyed by shard key.
+
+        Returns an empty mapping when no journal exists.  A trailing
+        partial line (the run died mid-write) is dropped; any earlier
+        malformed line or a fingerprint mismatch raises
+        :class:`CheckpointError`.
+        """
+        if not os.path.exists(self.path):
+            return {}
+        done: Dict[str, List[ExperimentRecord]] = {}
+        with open(self.path, "r") as stream:
+            lines = stream.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        for i, line in enumerate(lines):
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn final write; the shard just re-runs
+                raise CheckpointError(
+                    "corrupt checkpoint line %d in %s" % (i + 1, self.path)
+                )
+            if i == 0:
+                self._check_header(entry)
+                continue
+            done[entry["shard"]] = [
+                record_from_json(r) for r in entry["records"]
+            ]
+        return done
+
+    def _check_header(self, entry: dict) -> None:
+        if "journal" not in entry:
+            raise CheckpointError(
+                "%s does not start with a journal header" % self.path
+            )
+        header = entry["journal"]
+        if header.get("version") != JOURNAL_VERSION:
+            raise CheckpointError(
+                "journal version %r unsupported (want %d)"
+                % (header.get("version"), JOURNAL_VERSION)
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                "checkpoint in %s was written by a different grid or "
+                "trace; refusing to resume (delete the run directory "
+                "to start over)" % os.path.dirname(self.path)
+            )
+
+    # ------------------------------------------------------------------
+    # writing
+
+    def start(self, fresh: bool) -> None:
+        """Open the journal for appending.
+
+        ``fresh`` truncates any existing journal and writes a new
+        header; a resume appends below the existing entries.
+        """
+        mode = "w" if fresh or not os.path.exists(self.path) else "a"
+        self._stream = open(self.path, mode)
+        if mode == "w":
+            self._write_line(
+                {
+                    "journal": {
+                        "version": JOURNAL_VERSION,
+                        "fingerprint": self.fingerprint,
+                    }
+                }
+            )
+
+    def append(self, shard_key: str, records: List[ExperimentRecord]) -> None:
+        """Journal one completed shard (durable before returning)."""
+        if self._stream is None:
+            raise RuntimeError("journal not started")
+        self._write_line(
+            {
+                "shard": shard_key,
+                "records": [record_to_json(r) for r in records],
+            }
+        )
+
+    def _write_line(self, payload: dict) -> None:
+        assert self._stream is not None
+        self._stream.write(json.dumps(payload) + "\n")
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None

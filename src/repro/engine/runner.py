@@ -1,0 +1,265 @@
+"""The execution engine's front door: sharded, parallel, resumable runs.
+
+:class:`ParallelRunner` turns a declarative
+:class:`~repro.core.evaluation.experiment.ExperimentGrid` into a
+completed :class:`~repro.core.evaluation.experiment.ExperimentResult`:
+
+1. :class:`~repro.engine.planner.GridPlanner` expands the grid into
+   independent shards;
+2. completed shards from a previous run are replayed from the
+   checkpoint journal (``resume=True``) and skipped;
+3. the rest execute either inline (``jobs=1``) or on a
+   ``ProcessPoolExecutor`` whose workers share the parent trace through
+   one shared-memory block — no per-task pickling of packet columns;
+4. per-shard records are journaled as they complete and merged in
+   canonical sweep order, so the result is bit-identical to a serial
+   run regardless of worker count, scheduling, or interruptions.
+
+The engine is deliberately agnostic about *what* a shard computes —
+that lives in :mod:`repro.engine.worker` — and owns only scheduling,
+durability, and telemetry.
+"""
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional
+
+from repro.core.evaluation.experiment import (
+    ExperimentGrid,
+    ExperimentRecord,
+    ExperimentResult,
+)
+from repro.engine.checkpoint import CheckpointJournal
+from repro.engine.planner import GridPlanner, Shard
+from repro.engine.sharedtrace import SharedTraceBuffer
+from repro.engine.telemetry import RunTelemetry, ShardTiming
+from repro.engine.worker import (
+    ShardContext,
+    execute_shard,
+    init_worker,
+    run_shard_task,
+)
+from repro.trace.trace import Trace
+
+#: Called after each shard completes: (shard key, done count, total).
+ProgressCallback = Callable[[str, int, int], None]
+
+
+class ParallelRunner:
+    """Executes experiment grids as sharded task graphs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` runs every shard inline in this
+        process (no pool, no shared memory) — the results are
+        bit-identical either way.
+    run_dir:
+        Directory for the checkpoint journal and run manifest.  Without
+        one the run is neither resumable nor telemetered to disk.
+    resume:
+        Replay completed shards from ``run_dir``'s journal instead of
+        re-executing them.  Refused (``CheckpointError``) if the
+        journal was written by a different grid or trace.
+    progress:
+        Optional callback fired after every shard (completed or
+        replayed); exceptions it raises abort the run *after* the
+        current shard has been journaled, which is what makes
+        interruption safe at any point.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        run_dir: Optional[str] = None,
+        resume: bool = False,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1, got %d" % jobs)
+        if resume and run_dir is None:
+            raise ValueError("resume requires a run_dir")
+        self.jobs = jobs
+        self.run_dir = run_dir
+        self.resume = resume
+        self.progress = progress
+        #: Telemetry of the most recent :meth:`run`, for inspection.
+        self.last_telemetry: Optional[RunTelemetry] = None
+
+    def run(self, grid: ExperimentGrid, trace: Trace) -> ExperimentResult:
+        """Execute the sweep; returns the merged, ordered result."""
+        planner = GridPlanner(grid)
+        shards = planner.shards()
+        telemetry = RunTelemetry(self.jobs)
+        self.last_telemetry = telemetry
+
+        journal: Optional[CheckpointJournal] = None
+        done: Dict[str, List[ExperimentRecord]] = {}
+        if self.run_dir is not None:
+            journal = CheckpointJournal(
+                self.run_dir,
+                planner.fingerprint(len(trace), trace.duration_us),
+            )
+            if self.resume:
+                done = journal.load()
+            journal.start(fresh=not self.resume)
+
+        completed: Dict[int, List[ExperimentRecord]] = {}
+        for shard in shards:
+            if shard.key in done:
+                completed[shard.index] = done[shard.key]
+                telemetry.add(
+                    ShardTiming(
+                        key=shard.key,
+                        worker=0,
+                        wall_s=0.0,
+                        packets=0,
+                        cached=True,
+                    )
+                )
+                self._report(shard.key, len(completed), len(shards))
+        pending = [s for s in shards if s.index not in completed]
+
+        try:
+            if self.jobs == 1:
+                self._run_serial(
+                    grid, trace, pending, completed, journal, telemetry, shards
+                )
+            else:
+                self._run_pool(
+                    grid, trace, pending, completed, journal, telemetry, shards
+                )
+        finally:
+            telemetry.finish()
+            if journal is not None:
+                journal.close()
+            if self.run_dir is not None:
+                telemetry.write_manifest(self.run_dir)
+
+        records: List[ExperimentRecord] = []
+        for shard in shards:
+            records.extend(completed[shard.index])
+        return ExperimentResult(records=tuple(records))
+
+    # ------------------------------------------------------------------
+
+    def _report(self, key: str, done_count: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(key, done_count, total)
+
+    def _complete(
+        self,
+        shard_key: str,
+        index: int,
+        records: List[ExperimentRecord],
+        packets: int,
+        worker: int,
+        wall_s: float,
+        completed: Dict[int, List[ExperimentRecord]],
+        journal: Optional[CheckpointJournal],
+        telemetry: RunTelemetry,
+        total: int,
+    ) -> None:
+        """Journal-then-account for one freshly executed shard."""
+        if journal is not None:
+            journal.append(shard_key, records)
+        completed[index] = records
+        telemetry.add(
+            ShardTiming(
+                key=shard_key,
+                worker=worker,
+                wall_s=wall_s,
+                packets=packets,
+                cached=False,
+            )
+        )
+        self._report(shard_key, len(completed), total)
+
+    def _run_serial(
+        self,
+        grid: ExperimentGrid,
+        trace: Trace,
+        pending: List[Shard],
+        completed: Dict[int, List[ExperimentRecord]],
+        journal: Optional[CheckpointJournal],
+        telemetry: RunTelemetry,
+        shards: tuple,
+    ) -> None:
+        context = ShardContext(trace, grid)
+        for shard in pending:
+            started = time.perf_counter()
+            records, packets = execute_shard(context, shard)
+            wall_s = time.perf_counter() - started
+            self._complete(
+                shard.key,
+                shard.index,
+                records,
+                packets,
+                os.getpid(),
+                wall_s,
+                completed,
+                journal,
+                telemetry,
+                len(shards),
+            )
+
+    def _run_pool(
+        self,
+        grid: ExperimentGrid,
+        trace: Trace,
+        pending: List[Shard],
+        completed: Dict[int, List[ExperimentRecord]],
+        journal: Optional[CheckpointJournal],
+        telemetry: RunTelemetry,
+        shards: tuple,
+    ) -> None:
+        with SharedTraceBuffer(trace) as buffer:
+            pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=init_worker,
+                initargs=(buffer.spec, grid),
+            )
+            try:
+                futures = {
+                    pool.submit(run_shard_task, shard) for shard in pending
+                }
+                while futures:
+                    finished, futures = wait(
+                        futures, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        index, key, records, packets, pid, wall_s = (
+                            future.result()
+                        )
+                        self._complete(
+                            key,
+                            index,
+                            records,
+                            packets,
+                            pid,
+                            wall_s,
+                            completed,
+                            journal,
+                            telemetry,
+                            len(shards),
+                        )
+            finally:
+                # cancel_futures: an abort (progress exception, worker
+                # crash) must not wait out the whole backlog.
+                pool.shutdown(wait=True, cancel_futures=True)
+
+
+def run_grid(
+    grid: ExperimentGrid,
+    trace: Trace,
+    jobs: int = 1,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentResult:
+    """Functional facade over :class:`ParallelRunner` (one-shot runs)."""
+    runner = ParallelRunner(
+        jobs=jobs, run_dir=run_dir, resume=resume, progress=progress
+    )
+    return runner.run(grid, trace)

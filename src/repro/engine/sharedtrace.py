@@ -1,0 +1,153 @@
+"""Zero-copy trace transport between the parent and worker processes.
+
+A parallel sweep must not pickle the parent population into every task:
+an hour of calibrated traffic is ~1.6 million packets across seven
+columns, and per-task serialization would swamp the work itself.  This
+module instead publishes the trace's columns **once** into a single
+:mod:`multiprocessing.shared_memory` block; each worker attaches by
+name and reconstructs NumPy views over the same physical pages, so the
+per-worker cost is one mmap plus the trace's O(n) monotonicity check.
+
+Layout: columns are packed back-to-back in :data:`~repro.trace.trace.Trace`
+slot order, each aligned to its own dtype (the offsets in the spec are
+authoritative).  The picklable :class:`SharedTraceSpec` carries the
+block name and per-column (dtype, offset) so attachment needs no other
+channel.
+"""
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+from repro.trace.trace import Trace
+
+#: Column transport order — Trace's slot order.
+_COLUMNS = (
+    "timestamps_us",
+    "sizes",
+    "protocols",
+    "src_nets",
+    "dst_nets",
+    "src_ports",
+    "dst_ports",
+)
+
+
+@dataclass(frozen=True)
+class SharedTraceSpec:
+    """Everything a worker needs to attach: name, length, layout."""
+
+    shm_name: str
+    n_packets: int
+    columns: Tuple[Tuple[str, str, int], ...]  # (column, dtype str, offset)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker adoption.
+
+    On attach (``create=False``) CPython < 3.13 registers the segment
+    with the worker's resource tracker, which then unlinks it when the
+    worker exits — yanking the pages out from under sibling workers and
+    spamming "leaked shared_memory" warnings.  Ownership here is
+    explicit (the parent created the block and unlinks it), so workers
+    must opt out of tracking: via ``track=False`` where available
+    (3.13+), otherwise by suppressing the register call for the
+    duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shared_memory(resource_name: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(resource_name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedTraceBuffer:
+    """Owner side: copies a trace into shared memory, exactly once.
+
+    The parent keeps this object alive for the duration of the pool and
+    calls :meth:`close` (or uses it as a context manager) afterwards;
+    closing unlinks the block.
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        offsets = []
+        cursor = 0
+        for name in _COLUMNS:
+            column = getattr(trace, name)
+            align = column.dtype.itemsize
+            cursor = (cursor + align - 1) // align * align
+            offsets.append((name, column.dtype.str, cursor))
+            cursor += column.nbytes
+        # shared_memory rejects zero-length blocks; an empty trace
+        # still gets a one-byte allocation.
+        self._shm = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
+        for (name, dtype, offset) in offsets:
+            column = getattr(trace, name)
+            view = np.ndarray(
+                column.shape, dtype=dtype, buffer=self._shm.buf, offset=offset
+            )
+            view[:] = column
+        self.spec = SharedTraceSpec(
+            shm_name=self._shm.name,
+            n_packets=len(trace),
+            columns=tuple(offsets),
+        )
+        self._closed = False
+
+    def close(self) -> None:
+        """Release and unlink the block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedTraceBuffer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def attach_trace(spec: SharedTraceSpec) -> Tuple[Trace, shared_memory.SharedMemory]:
+    """Worker side: rebuild a trace as views over the shared block.
+
+    Returns the trace **and** the attached segment; the caller must
+    keep the segment referenced for as long as the trace is in use
+    (the arrays are views over its buffer) and ``close()`` it when
+    done.  The views are never written to — :class:`Trace` is immutable
+    by convention and samplers only read.
+    """
+    shm = _attach_untracked(spec.shm_name)
+    columns = {}
+    for (name, dtype, offset) in spec.columns:
+        columns[name] = np.ndarray(
+            (spec.n_packets,), dtype=dtype, buffer=shm.buf, offset=offset
+        )
+    trace = Trace(
+        timestamps_us=columns["timestamps_us"],
+        sizes=columns["sizes"],
+        protocols=columns["protocols"],
+        src_nets=columns["src_nets"],
+        dst_nets=columns["dst_nets"],
+        src_ports=columns["src_ports"],
+        dst_ports=columns["dst_ports"],
+    )
+    return trace, shm

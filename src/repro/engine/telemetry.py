@@ -1,0 +1,110 @@
+"""Run-level observability: where did the sweep's time go?
+
+Every shard reports its wall time, window size, and the worker that
+ran it; :class:`RunTelemetry` aggregates these into the run manifest
+(``manifest.json`` in the run directory) so scaling problems — a
+straggler granularity, an idle worker, a window whose extraction
+dominates — are visible without re-instrumenting anything.
+
+Utilization is the classic pool metric: summed busy time across
+workers divided by (run wall time × worker count).  A perfectly packed
+pool scores ~1.0; long tails and serialization stalls pull it down.
+"""
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """One shard's execution report."""
+
+    key: str
+    worker: int  # pid of the executing process
+    wall_s: float
+    packets: int  # window size the shard sampled from
+    cached: bool  # replayed from a checkpoint, not executed
+
+    @property
+    def packets_per_s(self) -> float:
+        """Throughput over the shard's window."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.packets / self.wall_s
+
+
+class RunTelemetry:
+    """Collects shard timings and renders the run manifest."""
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = jobs
+        self.timings: List[ShardTiming] = []
+        self._started = time.perf_counter()
+        self._wall_s: Optional[float] = None
+
+    def add(self, timing: ShardTiming) -> None:
+        self.timings.append(timing)
+
+    def finish(self) -> None:
+        """Stop the run clock (idempotent; first call wins)."""
+        if self._wall_s is None:
+            self._wall_s = time.perf_counter() - self._started
+
+    @property
+    def wall_s(self) -> float:
+        return (
+            self._wall_s
+            if self._wall_s is not None
+            else time.perf_counter() - self._started
+        )
+
+    def summary(self) -> dict:
+        """The manifest payload."""
+        executed = [t for t in self.timings if not t.cached]
+        busy_by_worker: Dict[int, float] = {}
+        for timing in executed:
+            busy_by_worker[timing.worker] = (
+                busy_by_worker.get(timing.worker, 0.0) + timing.wall_s
+            )
+        busy_s = sum(busy_by_worker.values())
+        packets = sum(t.packets for t in executed)
+        wall = self.wall_s
+        return {
+            "jobs": self.jobs,
+            "wall_s": wall,
+            "shards_total": len(self.timings),
+            "shards_executed": len(executed),
+            "shards_skipped": len(self.timings) - len(executed),
+            "busy_s": busy_s,
+            "worker_utilization": (
+                busy_s / (wall * self.jobs) if wall > 0 and self.jobs else 0.0
+            ),
+            "workers": {
+                str(pid): round(busy, 6)
+                for pid, busy in sorted(busy_by_worker.items())
+            },
+            "packets_sampled_from": packets,
+            "packets_per_s": packets / wall if wall > 0 else 0.0,
+            "shards": [
+                {
+                    "key": t.key,
+                    "worker": t.worker,
+                    "wall_s": round(t.wall_s, 6),
+                    "packets": t.packets,
+                    "packets_per_s": round(t.packets_per_s, 3),
+                    "cached": t.cached,
+                }
+                for t in self.timings
+            ],
+        }
+
+    def write_manifest(self, run_dir: str) -> str:
+        """Write ``manifest.json`` under the run directory."""
+        path = os.path.join(run_dir, "manifest.json")
+        with open(path, "w") as stream:
+            json.dump(self.summary(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        return path

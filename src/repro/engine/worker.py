@@ -1,0 +1,163 @@
+"""Shard execution — the one code path both serial and parallel runs use.
+
+Bit-identical parallelism is not an optimization property here, it is a
+correctness contract, and the cheapest way to honor it is to have
+exactly one implementation of "run a shard": the serial runner calls
+:func:`execute_shard` inline; pool workers call it through the
+module-level task function after attaching the shared trace.  There is
+no second "fast path" to drift.
+
+Per-process caching: window extraction, population proportions, and
+attribute arrays are O(population) per (interval, target) pair and are
+identical for every shard of an interval, so each process memoizes
+them in its :class:`ShardContext`.  The cache affects only speed —
+cached and uncached shards produce the same records.
+"""
+
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.evaluation.comparison import (
+    population_proportions,
+    score_sample,
+)
+from repro.core.evaluation.experiment import ExperimentGrid, ExperimentRecord
+from repro.engine.planner import Shard, shard_rng
+from repro.engine.sharedtrace import SharedTraceSpec, attach_trace
+from repro.trace.filters import prefix_interval
+from repro.trace.trace import Trace
+
+
+class ShardContext:
+    """Per-process state: the parent trace plus interval-keyed caches."""
+
+    def __init__(self, trace: Trace, grid: ExperimentGrid) -> None:
+        self.trace = trace
+        self.grid = grid
+        self._full_proportions: Optional[Dict[str, np.ndarray]] = None
+        self._windows: Dict[
+            Optional[int],
+            Tuple[Trace, Dict[str, np.ndarray], Dict[str, np.ndarray]],
+        ] = {}
+
+    def full_proportions(self) -> Dict[str, np.ndarray]:
+        if self._full_proportions is None:
+            self._full_proportions = {
+                t.name: population_proportions(self.trace, t)
+                for t in self.grid.targets
+            }
+        return self._full_proportions
+
+    def window(
+        self, interval_us: Optional[int]
+    ) -> Tuple[Trace, Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+        """The interval's window, scoring proportions, and attributes."""
+        if interval_us not in self._windows:
+            window = (
+                self.trace
+                if interval_us is None
+                else prefix_interval(self.trace, interval_us)
+            )
+            if len(window):
+                if self.grid.score_against == "full":
+                    proportions = self.full_proportions()
+                else:
+                    proportions = {
+                        t.name: population_proportions(window, t)
+                        for t in self.grid.targets
+                    }
+                values = {
+                    t.name: t.attribute_values(window)
+                    for t in self.grid.targets
+                }
+            else:
+                proportions, values = {}, {}
+            self._windows[interval_us] = (window, proportions, values)
+        return self._windows[interval_us]
+
+
+def execute_shard(
+    context: ShardContext, shard: Shard
+) -> Tuple[List[ExperimentRecord], int]:
+    """Run one cell: draw the sample, score it against every target.
+
+    Returns the shard's records (target order matches the grid's) and
+    the window size, for throughput telemetry.  An empty window yields
+    no records, matching the serial harness's behavior of skipping
+    intervals that contain no packets.
+    """
+    window, proportions, values = context.window(shard.interval_us)
+    if not len(window):
+        return [], 0
+    grid = context.grid
+    # An interval that covers the whole trace is the full-trace cell:
+    # identical windows must yield identical records, so the seed is
+    # keyed on the effective window, not the requested length.
+    effective_interval = shard.interval_us
+    if effective_interval is not None and len(window) == len(context.trace):
+        effective_interval = None
+    rng = shard_rng(grid.seed, shard, interval_us=effective_interval)
+    sampler = shard.spec.build(trace=window, rng=rng)
+    result = sampler.sample(window, rng=rng)
+    records = []
+    for target in grid.targets:
+        score = score_sample(
+            window,
+            result,
+            target,
+            proportions=proportions[target.name],
+            attribute_values=values[target.name],
+        )
+        records.append(
+            ExperimentRecord(
+                target=target.name,
+                method=shard.spec.method,
+                granularity=shard.spec.granularity,
+                interval_us=shard.interval_us,
+                replication=shard.replication,
+                score=score,
+            )
+        )
+    return records, len(window)
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing
+
+#: Worker-global context, populated by :func:`init_worker`.  A module
+#: global is the only channel a ProcessPoolExecutor task can reach
+#: per-process state through.
+_WORKER_CONTEXT: Optional[ShardContext] = None
+_WORKER_SHM = None
+
+
+def init_worker(spec: SharedTraceSpec, grid: ExperimentGrid) -> None:
+    """Pool initializer: attach the shared trace, build the context.
+
+    Runs once per worker process.  The attached segment is kept in a
+    module global so the trace's column views stay backed for the
+    worker's lifetime.
+    """
+    global _WORKER_CONTEXT, _WORKER_SHM
+    trace, shm = attach_trace(spec)
+    _WORKER_SHM = shm
+    _WORKER_CONTEXT = ShardContext(trace, grid)
+
+
+def run_shard_task(
+    shard: Shard,
+) -> Tuple[int, str, List[ExperimentRecord], int, int, float]:
+    """Pool task: execute one shard in the initialized worker.
+
+    Returns ``(index, key, records, window_packets, pid, wall_s)`` —
+    everything the parent needs for merging, journaling, and telemetry.
+    """
+    if _WORKER_CONTEXT is None:
+        raise RuntimeError("worker used before init_worker ran")
+    started = time.perf_counter()
+    records, packets = execute_shard(_WORKER_CONTEXT, shard)
+    wall_s = time.perf_counter() - started
+    return shard.index, shard.key, records, packets, os.getpid(), wall_s

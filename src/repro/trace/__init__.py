@@ -17,7 +17,7 @@ from repro.trace.packet import (
 )
 from repro.trace.trace import Trace
 from repro.trace.clock import MonitorClock
-from repro.trace.pcap import PcapError, read_pcap, write_pcap
+from repro.trace.pcap import PcapError, iter_pcap, read_pcap, write_pcap
 from repro.trace.filters import (
     first_packets,
     prefix_interval,
@@ -37,6 +37,7 @@ __all__ = [
     "Trace",
     "MonitorClock",
     "PcapError",
+    "iter_pcap",
     "read_pcap",
     "write_pcap",
     "first_packets",

@@ -13,7 +13,7 @@ numbering of the era; the reader inverts the same convention.
 """
 
 import struct
-from typing import BinaryIO, Union
+from typing import BinaryIO, Iterator, Union
 
 import numpy as np
 
@@ -153,16 +153,31 @@ def _read_exactly(stream: BinaryIO, count: int) -> bytes:
     return data
 
 
-def read_pcap(source: Union[str, BinaryIO]) -> Trace:
-    """Read a classic pcap file into a :class:`Trace`.
+#: Default packets per chunk for :func:`iter_pcap` — ~5 MB of columns.
+DEFAULT_CHUNK_PACKETS = 262_144
+
+
+def iter_pcap(
+    source: Union[str, BinaryIO], chunk_packets: int = DEFAULT_CHUNK_PACKETS
+) -> Iterator[Trace]:
+    """Stream a classic pcap file as :class:`Trace` chunks.
+
+    Yields traces of up to ``chunk_packets`` packets each, in file
+    order, so captures bigger than RAM can be ingested window by
+    window (per-chunk column memory is bounded; the file is never read
+    whole).  Concatenating every chunk reproduces :func:`read_pcap`'s
+    result exactly.  An empty capture yields no chunks.
 
     Supports both byte orders (by magic), requires RAW-IP link type and
     microsecond timestamps, and tolerates truncated payload capture as
     long as the 20-byte IPv4 header plus any port fields were captured.
     """
+    if chunk_packets < 1:
+        raise ValueError("chunk_packets must be >= 1, got %d" % chunk_packets)
     if isinstance(source, str):
         with open(source, "rb") as stream:
-            return read_pcap(stream)
+            yield from iter_pcap(stream, chunk_packets=chunk_packets)
+        return
 
     head = _read_exactly(source, _GLOBAL_HEADER.size)
     magic_le = struct.unpack("<I", head[:4])[0]
@@ -181,6 +196,29 @@ def read_pcap(source: Union[str, BinaryIO]) -> Trace:
 
     timestamps, sizes, protocols = [], [], []
     src_nets, dst_nets, src_ports, dst_ports = [], [], [], []
+
+    def flush() -> Trace:
+        chunk = Trace(
+            timestamps_us=np.asarray(timestamps, dtype=np.int64),
+            sizes=np.asarray(sizes, dtype=np.int32),
+            protocols=protocols,
+            src_nets=src_nets,
+            dst_nets=dst_nets,
+            src_ports=src_ports,
+            dst_ports=dst_ports,
+        )
+        for column in (
+            timestamps,
+            sizes,
+            protocols,
+            src_nets,
+            dst_nets,
+            src_ports,
+            dst_ports,
+        ):
+            column.clear()
+        return chunk
+
     while True:
         raw = source.read(record_hdr.size)
         if not raw:
@@ -217,13 +255,17 @@ def read_pcap(source: Union[str, BinaryIO]) -> Trace:
         dst_nets.append(dst_addr >> 16)
         src_ports.append(src_port)
         dst_ports.append(dst_port)
+        if len(timestamps) >= chunk_packets:
+            yield flush()
 
-    return Trace(
-        timestamps_us=np.asarray(timestamps, dtype=np.int64),
-        sizes=np.asarray(sizes, dtype=np.int32),
-        protocols=protocols,
-        src_nets=src_nets,
-        dst_nets=dst_nets,
-        src_ports=src_ports,
-        dst_ports=dst_ports,
-    )
+    if timestamps:
+        yield flush()
+
+
+def read_pcap(source: Union[str, BinaryIO]) -> Trace:
+    """Read a classic pcap file into a single :class:`Trace`.
+
+    A convenience over :func:`iter_pcap` for captures that fit in
+    memory; see there for format support and error behavior.
+    """
+    return Trace.concat(list(iter_pcap(source)))

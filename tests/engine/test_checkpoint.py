@@ -1,0 +1,109 @@
+"""Checkpoint journal: lossless records, durability, refusal paths."""
+
+import json
+
+import pytest
+
+from repro.core.evaluation.experiment import ExperimentGrid
+from repro.engine.checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    record_from_json,
+    record_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def records(request):
+    """A handful of real scored records (all five methods)."""
+    trace = request.getfixturevalue("minute_trace")
+    grid = ExperimentGrid(granularities=(32,), replications=1, seed=2)
+    return grid.run(trace).records
+
+
+class TestRecordSerialization:
+    def test_round_trip_is_lossless(self, records):
+        for record in records:
+            clone = record_from_json(record_to_json(record))
+            assert record_to_json(clone) == record_to_json(record)
+
+    def test_floats_survive_exactly(self, records):
+        """JSON must round-trip the scores bit-for-bit, or a resumed
+        run would drift from an uninterrupted one."""
+        for record in records:
+            clone = record_from_json(
+                json.loads(json.dumps(record_to_json(record)))
+            )
+            assert clone.score.scores.phi == record.score.scores.phi
+            assert clone.score.scores.chi2 == record.score.scores.chi2
+            assert clone.score.fraction == record.score.fraction
+
+    def test_parameters_preserved(self, records):
+        timer = [r for r in records if r.method == "timer-systematic"]
+        assert timer, "fixture should cover timer methods"
+        clone = record_from_json(record_to_json(timer[0]))
+        assert clone.score.parameters == timer[0].score.parameters
+
+
+class TestJournal:
+    def test_append_then_load(self, tmp_path, records):
+        journal = CheckpointJournal(str(tmp_path), fingerprint="fp")
+        journal.start(fresh=True)
+        journal.append("shard-a", list(records[:2]))
+        journal.append("shard-b", list(records[2:4]))
+        journal.close()
+
+        reloaded = CheckpointJournal(str(tmp_path), fingerprint="fp").load()
+        assert set(reloaded) == {"shard-a", "shard-b"}
+        assert [record_to_json(r) for r in reloaded["shard-a"]] == [
+            record_to_json(r) for r in records[:2]
+        ]
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path), fingerprint="fp")
+        assert journal.load() == {}
+
+    def test_fingerprint_mismatch_refused(self, tmp_path, records):
+        journal = CheckpointJournal(str(tmp_path), fingerprint="fp-one")
+        journal.start(fresh=True)
+        journal.append("shard-a", list(records[:1]))
+        journal.close()
+        with pytest.raises(CheckpointError, match="different grid"):
+            CheckpointJournal(str(tmp_path), fingerprint="fp-two").load()
+
+    def test_torn_final_line_dropped(self, tmp_path, records):
+        journal = CheckpointJournal(str(tmp_path), fingerprint="fp")
+        journal.start(fresh=True)
+        journal.append("shard-a", list(records[:1]))
+        journal.close()
+        with open(journal.path, "a") as stream:
+            stream.write('{"shard": "shard-b", "records": [')  # died mid-write
+        reloaded = CheckpointJournal(str(tmp_path), fingerprint="fp").load()
+        assert set(reloaded) == {"shard-a"}
+
+    def test_corrupt_interior_line_raises(self, tmp_path, records):
+        journal = CheckpointJournal(str(tmp_path), fingerprint="fp")
+        journal.start(fresh=True)
+        journal.close()
+        with open(journal.path, "a") as stream:
+            stream.write("not json at all\n")
+            stream.write('{"shard": "shard-a", "records": []}\n')
+        with pytest.raises(CheckpointError, match="corrupt"):
+            CheckpointJournal(str(tmp_path), fingerprint="fp").load()
+
+    def test_missing_header_refused(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path), fingerprint="fp")
+        with open(journal.path, "w") as stream:
+            stream.write('{"shard": "shard-a", "records": []}\n')
+        with pytest.raises(CheckpointError, match="header"):
+            journal.load()
+
+    def test_fresh_start_truncates(self, tmp_path, records):
+        journal = CheckpointJournal(str(tmp_path), fingerprint="fp")
+        journal.start(fresh=True)
+        journal.append("shard-a", list(records[:1]))
+        journal.close()
+        journal = CheckpointJournal(str(tmp_path), fingerprint="fp")
+        journal.start(fresh=True)
+        journal.close()
+        assert journal.load() == {}

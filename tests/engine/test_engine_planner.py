@@ -1,0 +1,96 @@
+"""Shard expansion and cell-keyed seeding."""
+
+import pytest
+
+from repro.core.evaluation.experiment import ExperimentGrid
+from repro.core.sampling.factory import SamplerSpec
+from repro.engine.planner import GridPlanner, Shard, shard_rng, shard_seed
+
+
+@pytest.fixture()
+def grid():
+    return ExperimentGrid(
+        methods=("systematic", "stratified"),
+        granularities=(8, 64),
+        intervals_us=(None, 4_000_000),
+        replications=3,
+        seed=5,
+    )
+
+
+class TestExpansion:
+    def test_shard_count(self, grid):
+        planner = GridPlanner(grid)
+        assert len(planner) == 2 * 2 * 2 * 3
+        assert len(planner.shards()) == len(planner)
+
+    def test_canonical_order(self, grid):
+        """Interval outermost, replication innermost — the serial
+        harness's nesting, so index-order concatenation reproduces the
+        serial record order."""
+        shards = GridPlanner(grid).shards()
+        assert [s.index for s in shards] == list(range(len(shards)))
+        assert shards[0].interval_us is None
+        assert shards[0].spec == SamplerSpec("systematic", 8)
+        assert [s.replication for s in shards[:3]] == [0, 1, 2]
+        assert shards[3].spec.granularity == 64
+        # Second half of the list is the second interval.
+        assert shards[len(shards) // 2].interval_us == 4_000_000
+
+    def test_keys_unique(self, grid):
+        shards = GridPlanner(grid).shards()
+        assert len({s.key for s in shards}) == len(shards)
+
+    def test_key_shape(self, grid):
+        shard = GridPlanner(grid).shards()[0]
+        assert shard.key == "full/systematic/g8/r0"
+
+
+class TestSeeding:
+    def test_seed_ignores_index(self):
+        """The seed depends on what the cell is, not where it sits."""
+        a = Shard(0, None, SamplerSpec("random", 16), 1)
+        b = Shard(99, None, SamplerSpec("random", 16), 1)
+        assert shard_seed(7, a) == shard_seed(7, b)
+
+    def test_seed_varies_with_every_coordinate(self):
+        base = Shard(0, None, SamplerSpec("random", 16), 1)
+        variants = (
+            Shard(0, 1_000_000, SamplerSpec("random", 16), 1),
+            Shard(0, None, SamplerSpec("stratified", 16), 1),
+            Shard(0, None, SamplerSpec("random", 32), 1),
+            Shard(0, None, SamplerSpec("random", 16), 2),
+        )
+        seeds = {tuple(shard_seed(7, s)) for s in variants}
+        seeds.add(tuple(shard_seed(7, base)))
+        assert len(seeds) == len(variants) + 1
+
+    def test_seed_varies_with_grid_seed(self):
+        shard = Shard(0, None, SamplerSpec("random", 16), 0)
+        assert shard_seed(1, shard) != shard_seed(2, shard)
+
+    def test_rng_streams_reproducible(self):
+        shard = Shard(0, None, SamplerSpec("random", 16), 0)
+        a = shard_rng(3, shard).random(4)
+        b = shard_rng(3, shard).random(4)
+        assert a.tolist() == b.tolist()
+
+
+class TestFingerprint:
+    def test_stable(self, grid):
+        planner = GridPlanner(grid)
+        assert planner.fingerprint(1000, 60) == planner.fingerprint(1000, 60)
+
+    def test_sensitive_to_grid_and_trace(self, grid):
+        planner = GridPlanner(grid)
+        other = GridPlanner(
+            ExperimentGrid(
+                methods=("systematic", "stratified"),
+                granularities=(8, 64),
+                intervals_us=(None, 4_000_000),
+                replications=3,
+                seed=6,  # only the seed differs
+            )
+        )
+        assert planner.fingerprint(1000, 60) != other.fingerprint(1000, 60)
+        assert planner.fingerprint(1000, 60) != planner.fingerprint(1001, 60)

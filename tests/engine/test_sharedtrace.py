@@ -1,0 +1,58 @@
+"""Shared-memory trace transport: fidelity and cleanup."""
+
+import pytest
+
+from repro.engine.sharedtrace import SharedTraceBuffer, attach_trace
+from repro.trace.trace import Trace
+
+
+class TestRoundtrip:
+    def test_all_columns_preserved(self, tiny_trace):
+        with SharedTraceBuffer(tiny_trace) as buffer:
+            trace, shm = attach_trace(buffer.spec)
+            try:
+                assert trace == tiny_trace
+            finally:
+                del trace  # views over shm.buf must die before close
+                shm.close()
+
+    def test_synthetic_trace(self, minute_trace):
+        subset = minute_trace.slice_packets(0, 5000)
+        with SharedTraceBuffer(subset) as buffer:
+            trace, shm = attach_trace(buffer.spec)
+            try:
+                assert trace == subset
+                assert trace.duration_us == subset.duration_us
+            finally:
+                del trace
+                shm.close()
+
+    def test_empty_trace(self):
+        with SharedTraceBuffer(Trace.empty()) as buffer:
+            trace, shm = attach_trace(buffer.spec)
+            try:
+                assert len(trace) == 0
+            finally:
+                del trace
+                shm.close()
+
+    def test_spec_is_plain_data(self, tiny_trace):
+        import pickle
+
+        with SharedTraceBuffer(tiny_trace) as buffer:
+            clone = pickle.loads(pickle.dumps(buffer.spec))
+            assert clone == buffer.spec
+
+
+class TestLifecycle:
+    def test_close_unlinks(self, tiny_trace):
+        buffer = SharedTraceBuffer(tiny_trace)
+        spec = buffer.spec
+        buffer.close()
+        with pytest.raises(FileNotFoundError):
+            attach_trace(spec)
+
+    def test_close_idempotent(self, tiny_trace):
+        buffer = SharedTraceBuffer(tiny_trace)
+        buffer.close()
+        buffer.close()  # must not raise

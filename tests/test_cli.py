@@ -174,3 +174,51 @@ class TestCommands:
         assert main(["describe", "synthetic"]) == 0
         out = capsys.readouterr().out
         assert "packets:" in out
+
+
+class TestEngineFlags:
+    def test_experiment_engine_defaults(self):
+        args = build_parser().parse_args(["experiment", "x"])
+        assert args.jobs == 1
+        assert args.run_dir == ""
+        assert args.resume is False
+
+    def test_reproduce_engine_defaults(self):
+        args = build_parser().parse_args(["reproduce", "x"])
+        assert args.jobs == 1
+        assert args.resume is False
+
+    def test_experiment_with_run_dir_writes_checkpoint(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pcap")
+        run_dir = str(tmp_path / "run")
+        main(["generate", trace_path, "--duration", "10", "--seed", "7"])
+        capsys.readouterr()
+        argv = [
+            "experiment",
+            trace_path,
+            "--methods",
+            "systematic",
+            "--max-log2-granularity",
+            "3",
+            "--replications",
+            "2",
+            "--jobs",
+            "1",
+            "--run-dir",
+            run_dir,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert (tmp_path / "run" / "checkpoint.jsonl").exists()
+        assert (tmp_path / "run" / "manifest.json").exists()
+
+        # A resumed invocation replays the checkpoint and prints the
+        # same table.
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "mean phi" in out
+        import json
+
+        manifest = json.loads((tmp_path / "run" / "manifest.json").read_text())
+        assert manifest["shards_executed"] == 0
+        assert manifest["shards_skipped"] == manifest["shards_total"]

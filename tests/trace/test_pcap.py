@@ -10,6 +10,7 @@ from repro.trace.pcap import (
     LINKTYPE_RAW,
     PCAP_MAGIC,
     PcapError,
+    iter_pcap,
     read_pcap,
     write_pcap,
 )
@@ -54,6 +55,54 @@ class TestRoundtrip:
     def test_snaplen_too_small_rejected(self, tiny_trace):
         with pytest.raises(ValueError, match="snaplen"):
             write_pcap(tiny_trace, io.BytesIO(), snaplen=16)
+
+
+class TestIterPcap:
+    """The streaming chunked reader must agree with read_pcap exactly."""
+
+    def test_chunks_concat_to_read_pcap(self, minute_trace):
+        subset = minute_trace.slice_packets(0, 2000)
+        buffer = io.BytesIO()
+        write_pcap(subset, buffer)
+        data = buffer.getvalue()
+        chunks = list(iter_pcap(io.BytesIO(data), chunk_packets=300))
+        assert all(len(c) <= 300 for c in chunks)
+        assert len(chunks) == 7  # ceil(2000 / 300)
+        assert Trace.concat(chunks) == read_pcap(io.BytesIO(data))
+
+    def test_chunk_boundaries_preserve_order(self, tiny_trace):
+        buffer = io.BytesIO()
+        write_pcap(tiny_trace, buffer)
+        buffer.seek(0)
+        chunks = list(iter_pcap(buffer, chunk_packets=3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert Trace.concat(chunks) == tiny_trace
+
+    def test_empty_capture_yields_nothing(self):
+        buffer = io.BytesIO()
+        write_pcap(Trace.empty(), buffer)
+        buffer.seek(0)
+        assert list(iter_pcap(buffer)) == []
+
+    def test_file_path_api(self, tmp_path, tiny_trace):
+        path = str(tmp_path / "trace.pcap")
+        write_pcap(tiny_trace, path)
+        assert Trace.concat(list(iter_pcap(path, chunk_packets=4))) == tiny_trace
+
+    def test_single_chunk_when_capture_fits(self, tiny_trace):
+        buffer = io.BytesIO()
+        write_pcap(tiny_trace, buffer)
+        buffer.seek(0)
+        chunks = list(iter_pcap(buffer))
+        assert len(chunks) == 1
+        assert chunks[0] == tiny_trace
+
+    def test_rejects_nonpositive_chunk(self, tiny_trace):
+        buffer = io.BytesIO()
+        write_pcap(tiny_trace, buffer)
+        buffer.seek(0)
+        with pytest.raises(ValueError, match="chunk_packets"):
+            list(iter_pcap(buffer, chunk_packets=0))
 
 
 class TestFormat:
