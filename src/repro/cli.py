@@ -9,8 +9,10 @@ Nine subcommands cover the everyday workflow:
 * ``experiment`` — run a method x granularity sweep and print the
   mean-phi series (a small Figure 8/9 on your own data), optionally
   saving every scored sample to CSV; ``--jobs N`` parallelizes the
-  sweep and ``--run-dir``/``--resume`` make it checkpointed and
-  resumable;
+  sweep, ``--run-dir``/``--resume`` make it checkpointed and
+  resumable, and ``--max-attempts``/``--shard-timeout``/``--chaos``
+  control the engine's fault tolerance (retry budget, per-shard
+  deadline, deterministic fault injection);
 * ``samplesize`` — Cochran sample-size planning for a trace's mean
   size/interarrival (Section 5.1);
 * ``netmon`` — run a trace through a simulated collection node and
@@ -110,12 +112,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         seed=args.seed,
         targets=(_TARGETS[args.target],),
     )
-    result = grid.run(
-        trace,
-        jobs=args.jobs,
-        run_dir=args.run_dir or None,
-        resume=args.resume,
-    )
+    result = grid.run(trace, **_engine_kwargs(args))
     columns = {
         method: mean_phi_series(result, args.target, method)
         for method in args.methods
@@ -216,9 +213,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         phi_budget=args.phi_budget,
         replications=args.replications,
         seed=args.seed,
-        jobs=args.jobs,
-        run_dir=args.run_dir or None,
-        resume=args.resume,
+        **_engine_kwargs(args),
     )
     print(report.render())
     return 0
@@ -286,6 +281,47 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip shards already completed in --run-dir's checkpoint",
     )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="executions a shard may consume before it is quarantined "
+        "and the sweep continues without it (default 3)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-shard wall-clock deadline with --jobs > 1; a shard "
+        "past it is retried on a rebuilt pool (0 = no deadline)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default="",
+        metavar="SPEC",
+        help="deterministic fault injection for testing recovery, e.g. "
+        "'seed=7,crash=0.1,hang=0.05,slow=0.1,corrupt=0.02' "
+        "(kinds: crash, hang, slow, corrupt, error; plus seed=N, "
+        "hang_s=S, slow_s=S, attempts=N|all)",
+    )
+
+
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Execution-engine keyword arguments from parsed engine flags."""
+    fault_plan = None
+    if args.chaos:
+        from repro.engine.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_spec(args.chaos)
+    return {
+        "jobs": args.jobs,
+        "run_dir": args.run_dir or None,
+        "resume": args.resume,
+        "max_attempts": args.max_attempts,
+        "shard_timeout_s": args.shard_timeout or None,
+        "fault_plan": fault_plan,
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -152,6 +152,9 @@ class ExperimentGrid:
         jobs: int = 1,
         run_dir: Optional[str] = None,
         resume: bool = False,
+        max_attempts: int = 3,
+        shard_timeout_s: Optional[float] = None,
+        fault_plan=None,
     ) -> ExperimentResult:
         """Execute the sweep on a parent trace.
 
@@ -172,11 +175,28 @@ class ExperimentGrid:
         resume:
             Skip shards already journaled in ``run_dir`` by a previous
             (interrupted) run of the same grid on the same trace.
+        max_attempts:
+            Executions a shard may consume before it is quarantined
+            and the sweep continues without it.
+        shard_timeout_s:
+            Per-shard wall-clock deadline in pool mode (``None``
+            disables it); a shard past the deadline is retried on a
+            rebuilt pool.
+        fault_plan:
+            Optional :class:`repro.engine.FaultPlan` injecting
+            deterministic failures for chaos testing.
         """
         from repro.engine.runner import run_grid
 
         return run_grid(
-            self, trace, jobs=jobs, run_dir=run_dir, resume=resume
+            self,
+            trace,
+            jobs=jobs,
+            run_dir=run_dir,
+            resume=resume,
+            max_attempts=max_attempts,
+            shard_timeout_s=shard_timeout_s,
+            fault_plan=fault_plan,
         )
 
 

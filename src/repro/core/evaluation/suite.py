@@ -151,6 +151,9 @@ def reproduce_study(
     jobs: int = 1,
     run_dir: Optional[str] = None,
     resume: bool = False,
+    max_attempts: int = 3,
+    shard_timeout_s: Optional[float] = None,
+    fault_plan=None,
 ) -> StudyReport:
     """Run the paper's analysis families on one trace.
 
@@ -171,6 +174,11 @@ def reproduce_study(
         worker count, checkpoint/manifest directory, and whether to
         skip shards journaled by an interrupted run.  See
         :mod:`repro.engine`.
+    max_attempts, shard_timeout_s, fault_plan:
+        Fault-tolerance controls for the φ sweep: retry budget per
+        shard before quarantine, per-shard deadline in pool mode, and
+        an optional deterministic chaos plan.  See
+        :mod:`repro.engine.faults`.
     """
     if len(trace) < 1000:
         raise ValueError(
@@ -195,7 +203,15 @@ def reproduce_study(
         replications=replications,
         seed=seed,
     )
-    sweep = grid.run(trace, jobs=jobs, run_dir=run_dir, resume=resume)
+    sweep = grid.run(
+        trace,
+        jobs=jobs,
+        run_dir=run_dir,
+        resume=resume,
+        max_attempts=max_attempts,
+        shard_timeout_s=shard_timeout_s,
+        fault_plan=fault_plan,
+    )
     checks = chi_square_phase_check(
         trace, granularity=50, phases=10 if quick else 50
     )

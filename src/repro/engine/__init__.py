@@ -21,6 +21,15 @@ The engine's contract: for a given grid and trace, the merged result is
 interrupt/resume sequence.  ``ExperimentGrid.run(trace, jobs=4)`` and
 the CLI's ``--jobs/--resume/--run-dir`` flags are thin wrappers over
 :func:`run_grid`.
+
+Fault tolerance rides on the same shard independence
+(:mod:`repro.engine.faults` + the runner's recovery machinery): failed
+attempts retry with backoff, dead workers are detected and the pool
+rebuilt, hung shards are preempted by deadline, poison shards are
+quarantined with the sweep continuing, and a deterministic
+:class:`~repro.engine.faults.FaultPlan` (CLI ``--chaos``) injects every
+one of those failures on demand so the recovery paths are tested, not
+hoped for.
 """
 
 from repro.engine.checkpoint import (
@@ -29,32 +38,51 @@ from repro.engine.checkpoint import (
     record_from_json,
     record_to_json,
 )
+from repro.engine.faults import (
+    Fault,
+    FaultPlan,
+    InjectedFaultError,
+    PoolCrashError,
+    ShardCorruptionError,
+    ShardTimeoutError,
+)
 from repro.engine.planner import GridPlanner, Shard, shard_rng, shard_seed
-from repro.engine.runner import ParallelRunner, run_grid
+from repro.engine.runner import ParallelRunner, QuarantinedShards, run_grid
 from repro.engine.sharedtrace import (
     SharedTraceBuffer,
     SharedTraceSpec,
     attach_trace,
+    reap_stale_segments,
 )
-from repro.engine.telemetry import RunTelemetry, ShardTiming
-from repro.engine.worker import ShardContext, execute_shard
+from repro.engine.telemetry import EngineEvent, RunTelemetry, ShardTiming
+from repro.engine.worker import ShardContext, execute_shard, records_digest
 
 __all__ = [
     "CheckpointError",
     "CheckpointJournal",
     "record_from_json",
     "record_to_json",
+    "Fault",
+    "FaultPlan",
+    "InjectedFaultError",
+    "PoolCrashError",
+    "ShardCorruptionError",
+    "ShardTimeoutError",
     "GridPlanner",
     "Shard",
     "shard_rng",
     "shard_seed",
     "ParallelRunner",
+    "QuarantinedShards",
     "run_grid",
     "SharedTraceBuffer",
     "SharedTraceSpec",
     "attach_trace",
+    "reap_stale_segments",
+    "EngineEvent",
     "RunTelemetry",
     "ShardTiming",
     "ShardContext",
     "execute_shard",
+    "records_digest",
 ]

@@ -110,9 +110,14 @@ class CheckpointJournal:
         """Completed shards from a previous run, keyed by shard key.
 
         Returns an empty mapping when no journal exists.  A trailing
-        partial line (the run died mid-write) is dropped; any earlier
-        malformed line or a fingerprint mismatch raises
-        :class:`CheckpointError`.
+        partial record (the run died mid-write) is dropped whether it
+        is unparseable JSON or JSON that decodes but is structurally
+        garbled — truncation can land on either; any earlier malformed
+        line or a fingerprint mismatch raises :class:`CheckpointError`.
+
+        Quarantine lines (see :meth:`append_quarantine`) are recorded
+        history, not completed work: the shards they name are *not*
+        returned, so a resume gives them a fresh set of attempts.
         """
         if not os.path.exists(self.path):
             return {}
@@ -122,10 +127,11 @@ class CheckpointJournal:
         if lines and lines[-1] == "":
             lines.pop()
         for i, line in enumerate(lines):
+            last = i == len(lines) - 1
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
-                if i == len(lines) - 1:
+                if last:
                     break  # torn final write; the shard just re-runs
                 raise CheckpointError(
                     "corrupt checkpoint line %d in %s" % (i + 1, self.path)
@@ -133,9 +139,24 @@ class CheckpointJournal:
             if i == 0:
                 self._check_header(entry)
                 continue
-            done[entry["shard"]] = [
-                record_from_json(r) for r in entry["records"]
-            ]
+            if not isinstance(entry, dict):
+                if last:
+                    break
+                raise CheckpointError(
+                    "corrupt checkpoint line %d in %s" % (i + 1, self.path)
+                )
+            if "quarantine" in entry:
+                continue
+            try:
+                done[entry["shard"]] = [
+                    record_from_json(r) for r in entry["records"]
+                ]
+            except (KeyError, TypeError, ValueError):
+                if last:
+                    break  # garbled final write; the shard just re-runs
+                raise CheckpointError(
+                    "corrupt checkpoint line %d in %s" % (i + 1, self.path)
+                )
         return done
 
     def _check_header(self, entry: dict) -> None:
@@ -163,9 +184,17 @@ class CheckpointJournal:
         """Open the journal for appending.
 
         ``fresh`` truncates any existing journal and writes a new
-        header; a resume appends below the existing entries.
+        header; a resume appends below the existing entries.  Before
+        appending, any torn final line (no trailing newline — the
+        previous run died mid-write) is truncated away: appending
+        directly after it would concatenate a valid record onto the
+        fragment and corrupt an *interior* line of the journal, which
+        no later resume could recover from.
         """
-        mode = "w" if fresh or not os.path.exists(self.path) else "a"
+        if not fresh and os.path.exists(self.path):
+            self._repair_tail()
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        mode = "w" if fresh or not exists else "a"
         self._stream = open(self.path, mode)
         if mode == "w":
             self._write_line(
@@ -177,6 +206,15 @@ class CheckpointJournal:
                 }
             )
 
+    def _repair_tail(self) -> None:
+        """Drop a torn final line so appends start on a line boundary."""
+        with open(self.path, "rb+") as stream:
+            data = stream.read()
+            if not data or data.endswith(b"\n"):
+                return
+            keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+            stream.truncate(keep)
+
     def append(self, shard_key: str, records: List[ExperimentRecord]) -> None:
         """Journal one completed shard (durable before returning)."""
         if self._stream is None:
@@ -185,6 +223,28 @@ class CheckpointJournal:
             {
                 "shard": shard_key,
                 "records": [record_to_json(r) for r in records],
+            }
+        )
+
+    def append_quarantine(
+        self, shard_key: str, attempts: int, error: str
+    ) -> None:
+        """Journal a shard the runner gave up on (durable, auditable).
+
+        Quarantine lines keep the journal an honest account of the run
+        — a shard that is missing from the merged result is missing
+        *on record*, never silently — without marking the shard
+        completed: a later resume re-attempts it.
+        """
+        if self._stream is None:
+            raise RuntimeError("journal not started")
+        self._write_line(
+            {
+                "quarantine": {
+                    "shard": shard_key,
+                    "attempts": attempts,
+                    "error": error,
+                }
             }
         )
 

@@ -1,0 +1,249 @@
+"""Deterministic fault injection for the execution engine.
+
+Fault tolerance that is only exercised by real crashes is fault
+tolerance that is never exercised.  This module gives the engine a
+seeded, cell-keyed fault layer — the same determinism device the
+shard RNGs use (:func:`repro.engine.planner.shard_seed`) applied to
+failure: whether a given (shard, attempt) crashes, hangs, runs slow,
+or returns corrupted records is a pure function of ``(plan seed,
+shard key, attempt)``.  A chaos run is therefore exactly
+reproducible, and every recovery path in
+:class:`~repro.engine.runner.ParallelRunner` can be pinned by a test
+instead of waiting for production to produce the failure.
+
+Two ways to build a plan:
+
+* **rate-based** — ``FaultPlan(seed=7, rates={"crash": 0.1})`` draws a
+  deterministic uniform per (shard key, attempt) and injects faults at
+  the configured rates.  By default faults fire only on a shard's
+  first attempt (``fault_attempts=1``) so retried shards recover and
+  the sweep completes with bit-identical results; ``fault_attempts=None``
+  makes every attempt fault ("poison" shards that end up quarantined).
+* **explicit** — ``plan.inject("full/systematic/g16/r0", Fault("crash"))``
+  pins a fault to an exact shard (and optionally exact attempts), for
+  tests that need a specific failure at a specific place.
+
+The CLI exposes rate-based plans through ``--chaos`` specs like
+``"seed=7,crash=0.1,hang=0.05,slow=0.1,corrupt=0.02"`` (see
+:meth:`FaultPlan.from_spec`).
+
+The injected failure modes mirror what real deployments see:
+
+========  ============================================================
+kind      behavior
+========  ============================================================
+crash     pool worker: ``os._exit`` (→ ``BrokenProcessPool`` in the
+          parent); serial: raises :class:`InjectedFaultError`
+hang      pool worker: sleeps ``hang_s`` (→ the parent's per-shard
+          timeout fires and the pool is rebuilt); serial: raises
+          :class:`ShardTimeoutError` immediately
+slow      sleeps ``delay_s`` then completes normally (exercises
+          stragglers without failing anything)
+corrupt   completes, then mutates the result *after* its integrity
+          digest was computed (→ the parent's digest check fails and
+          the shard retries)
+error     raises :class:`InjectedFaultError` (an ordinary in-worker
+          exception, pool or serial)
+========  ============================================================
+"""
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Valid fault kinds, in the order rate thresholds are stacked.
+FAULT_KINDS = ("crash", "hang", "slow", "corrupt", "error")
+
+
+class InjectedFaultError(RuntimeError):
+    """An injected in-process failure (``error``, or ``crash`` when the
+    shard runs serially and really exiting would kill the run)."""
+
+
+class PoolCrashError(RuntimeError):
+    """A worker process died while this shard was in flight."""
+
+
+class ShardTimeoutError(RuntimeError):
+    """A shard exceeded its wall-clock deadline (real or injected)."""
+
+
+class ShardCorruptionError(RuntimeError):
+    """A shard's result failed its integrity check."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure.
+
+    ``hang_s`` is how long a hang sleeps in a pool worker (the parent's
+    timeout should be far shorter); ``delay_s`` is the added latency of
+    a ``slow`` fault.
+    """
+
+    kind: str
+    hang_s: float = 30.0
+    delay_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                "unknown fault kind %r; expected one of %s"
+                % (self.kind, FAULT_KINDS)
+            )
+
+
+def _unit_draw(seed: int, shard_key: str, attempt: int) -> float:
+    """Deterministic uniform in [0, 1) for (seed, shard key, attempt)."""
+    key = "fault|%d|%s|%d" % (seed, shard_key, attempt)
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") / 2.0**64
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, cell-keyed schedule of injected failures.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the per-(shard, attempt) uniform draws; a plan with the
+        same seed and rates injects exactly the same faults at exactly
+        the same shards, every run.
+    rates:
+        Probability per shard of each fault kind (keys from
+        :data:`FAULT_KINDS`); the rates must sum to at most 1.
+    fault_attempts:
+        Rate-based faults fire only while ``attempt < fault_attempts``,
+        so retries succeed and chaos runs still complete the full grid.
+        ``None`` removes the cap: affected shards fail every attempt
+        and end up quarantined.
+    hang_s / delay_s:
+        Parameters stamped onto rate-drawn :class:`Fault` instances.
+
+    The plan is picklable (it crosses the process boundary inside the
+    pool initializer) and consulted identically by serial and pool
+    execution.
+    """
+
+    seed: int = 0
+    rates: Dict[str, float] = field(default_factory=dict)
+    fault_attempts: Optional[int] = 1
+    hang_s: float = 30.0
+    delay_s: float = 0.25
+    #: Explicit injections: shard key -> [(attempts or None, fault)].
+    explicit: Dict[str, List[Tuple[Optional[Tuple[int, ...]], Fault]]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        unknown = set(self.rates) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError("unknown fault kinds in rates: %s" % sorted(unknown))
+        if any(r < 0 for r in self.rates.values()):
+            raise ValueError("fault rates must be non-negative")
+        if sum(self.rates.values()) > 1.0 + 1e-12:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.fault_attempts is not None and self.fault_attempts < 1:
+            raise ValueError("fault_attempts must be >= 1 or None")
+
+    # ------------------------------------------------------------------
+    # construction helpers
+
+    def inject(
+        self,
+        shard_key: str,
+        fault: Fault,
+        attempts: Optional[Iterable[int]] = (0,),
+    ) -> "FaultPlan":
+        """Pin ``fault`` to an exact shard (chainable).
+
+        ``attempts`` limits which attempt numbers fault; ``None`` means
+        every attempt (a poison shard that can only be quarantined).
+        """
+        entry = (tuple(attempts) if attempts is not None else None, fault)
+        self.explicit.setdefault(shard_key, []).append(entry)
+        return self
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a ``--chaos`` spec string.
+
+        Comma-separated ``key=value`` pairs: fault-kind rates
+        (``crash=0.1``), ``seed=N``, ``hang_s=S``, ``slow_s=S``, and
+        ``attempts=N`` or ``attempts=all`` (the ``fault_attempts``
+        cap).  Example: ``"seed=7,crash=0.1,hang=0.05,corrupt=0.02"``.
+        """
+        rates: Dict[str, float] = {}
+        seed = 0
+        hang_s, delay_s = 30.0, 0.25
+        fault_attempts: Optional[int] = 1
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(
+                    "bad chaos spec item %r (expected key=value)" % item
+                )
+            key, _, value = item.partition("=")
+            key, value = key.strip(), value.strip()
+            if key in FAULT_KINDS:
+                rates[key] = float(value)
+            elif key == "seed":
+                seed = int(value)
+            elif key == "hang_s":
+                hang_s = float(value)
+            elif key == "slow_s":
+                delay_s = float(value)
+            elif key == "attempts":
+                fault_attempts = None if value == "all" else int(value)
+            else:
+                raise ValueError("unknown chaos spec key %r" % key)
+        return cls(
+            seed=seed,
+            rates=rates,
+            fault_attempts=fault_attempts,
+            hang_s=hang_s,
+            delay_s=delay_s,
+        )
+
+    # ------------------------------------------------------------------
+    # consultation
+
+    def fault_for(self, shard_key: str, attempt: int) -> Optional[Fault]:
+        """The fault injected at (shard, attempt), or ``None``."""
+        for attempts, fault in self.explicit.get(shard_key, ()):
+            if attempts is None or attempt in attempts:
+                return fault
+        if not self.rates:
+            return None
+        if self.fault_attempts is not None and attempt >= self.fault_attempts:
+            return None
+        draw = _unit_draw(self.seed, shard_key, attempt)
+        threshold = 0.0
+        for kind in FAULT_KINDS:
+            threshold += self.rates.get(kind, 0.0)
+            if draw < threshold:
+                return Fault(kind=kind, hang_s=self.hang_s, delay_s=self.delay_s)
+        return None
+
+    def describe(self) -> dict:
+        """Manifest payload: what this plan injects (reproducibility)."""
+        return {
+            "seed": self.seed,
+            "rates": dict(self.rates),
+            "fault_attempts": self.fault_attempts,
+            "hang_s": self.hang_s,
+            "delay_s": self.delay_s,
+            "explicit": {
+                key: [
+                    {
+                        "kind": fault.kind,
+                        "attempts": list(attempts) if attempts is not None else "all",
+                    }
+                    for attempts, fault in entries
+                ]
+                for key, entries in self.explicit.items()
+            },
+        }

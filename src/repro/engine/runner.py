@@ -18,12 +18,54 @@ completed :class:`~repro.core.evaluation.experiment.ExperimentResult`:
 The engine is deliberately agnostic about *what* a shard computes —
 that lives in :mod:`repro.engine.worker` — and owns only scheduling,
 durability, and telemetry.
+
+Failure model
+-------------
+A production-scale sweep must survive partial failure without
+corrupting estimates, so every way a shard can go wrong maps to a
+bounded, reported recovery:
+
+* **worker exception** (including injected ``error`` faults) — the
+  attempt failed; retry with exponential backoff + deterministic
+  jitter, up to ``max_attempts``;
+* **worker death** (``os._exit``, SIGKILL, OOM) — the pool breaks; the
+  dead worker's breadcrumb names the shard it was holding, which is
+  charged an attempt, every other in-flight shard is requeued free,
+  and the pool is rebuilt;
+* **hang / straggler** — a shard running past ``shard_timeout_s`` is
+  charged an attempt, the pool (the only way to preempt a stuck
+  worker) is killed and rebuilt, and innocents are requeued free;
+* **corrupted result** — the worker-computed integrity digest fails to
+  verify in the parent; the attempt failed, retry;
+* **poison shard** — a shard that exhausts ``max_attempts`` is
+  *quarantined*: recorded in the checkpoint journal and the run
+  manifest, excluded from the merged result, and the sweep continues;
+* **repeated pool collapse** — after ``max_pool_rebuilds`` rebuilds the
+  engine degrades to serial in-process execution for the remainder
+  (slow beats dead).
+
+Because shards are idempotent and cell-seeded, a retried or re-executed
+shard produces bit-identical records, so none of the recovery paths
+perturb results.  Deterministic fault injection
+(:class:`~repro.engine.faults.FaultPlan`, ``fault_plan=...`` /
+``--chaos``) exercises each path reproducibly.
 """
 
 import os
+import shutil
+import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Dict, List, Optional
+import warnings
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from random import Random
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.evaluation.experiment import (
     ExperimentGrid,
@@ -31,23 +73,40 @@ from repro.core.evaluation.experiment import (
     ExperimentResult,
 )
 from repro.engine.checkpoint import CheckpointJournal
+from repro.engine.faults import (
+    FaultPlan,
+    PoolCrashError,
+    ShardCorruptionError,
+    ShardTimeoutError,
+)
 from repro.engine.planner import GridPlanner, Shard
-from repro.engine.sharedtrace import SharedTraceBuffer
+from repro.engine.sharedtrace import SharedTraceBuffer, reap_stale_segments
 from repro.engine.telemetry import RunTelemetry, ShardTiming
 from repro.engine.worker import (
     ShardContext,
-    execute_shard,
+    execute_shard_with_faults,
     init_worker,
+    records_digest,
     run_shard_task,
 )
 from repro.trace.trace import Trace
 
-#: Called after each shard completes: (shard key, done count, total).
+#: Called after each shard reaches a terminal state (completed,
+#: replayed, or quarantined): (shard key, done count, total).
 ProgressCallback = Callable[[str, int, int], None]
+
+#: Supervision-loop polling interval (seconds).  Bounds how stale the
+#: timeout scan and backoff release can be; completions wake the loop
+#: immediately via ``wait``.
+_TICK_S = 0.05
+
+
+class QuarantinedShards(UserWarning):
+    """Emitted when a sweep completes with shards quarantined."""
 
 
 class ParallelRunner:
-    """Executes experiment grids as sharded task graphs.
+    """Executes experiment grids as fault-tolerant sharded task graphs.
 
     Parameters
     ----------
@@ -63,10 +122,27 @@ class ParallelRunner:
         re-executing them.  Refused (``CheckpointError``) if the
         journal was written by a different grid or trace.
     progress:
-        Optional callback fired after every shard (completed or
-        replayed); exceptions it raises abort the run *after* the
+        Optional callback fired after every shard (completed, replayed,
+        or quarantined); exceptions it raises abort the run *after* the
         current shard has been journaled, which is what makes
         interruption safe at any point.
+    max_attempts:
+        Executions a shard may consume (first try included) before it
+        is quarantined and the sweep moves on.
+    retry_backoff_s:
+        Base of the exponential backoff between a shard's attempts
+        (``base * 2**(attempt-1)`` plus deterministic jitter in
+        ``[0, base)`` keyed on the shard).
+    shard_timeout_s:
+        Wall-clock deadline per shard execution in pool mode; a shard
+        exceeding it is failed and the pool rebuilt (the only way to
+        preempt a stuck worker).  ``None`` disables the deadline.
+    max_pool_rebuilds:
+        Pool collapses (crash or timeout kill) tolerated before the
+        engine stops rebuilding and degrades to serial execution.
+    fault_plan:
+        Deterministic fault injection for chaos testing (see
+        :mod:`repro.engine.faults`).  ``None`` injects nothing.
     """
 
     def __init__(
@@ -75,24 +151,53 @@ class ParallelRunner:
         run_dir: Optional[str] = None,
         resume: bool = False,
         progress: Optional[ProgressCallback] = None,
+        max_attempts: int = 3,
+        retry_backoff_s: float = 0.05,
+        shard_timeout_s: Optional[float] = None,
+        max_pool_rebuilds: int = 3,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % jobs)
         if resume and run_dir is None:
             raise ValueError("resume requires a run_dir")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1, got %d" % max_attempts)
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
+        if shard_timeout_s is not None and shard_timeout_s <= 0:
+            raise ValueError("shard_timeout_s must be positive or None")
+        if max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
         self.jobs = jobs
         self.run_dir = run_dir
         self.resume = resume
         self.progress = progress
+        self.max_attempts = max_attempts
+        self.retry_backoff_s = retry_backoff_s
+        self.shard_timeout_s = shard_timeout_s
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.fault_plan = fault_plan
         #: Telemetry of the most recent :meth:`run`, for inspection.
         self.last_telemetry: Optional[RunTelemetry] = None
+        #: Quarantined shards of the most recent run: key -> error text.
+        self.quarantined: Dict[str, str] = {}
 
     def run(self, grid: ExperimentGrid, trace: Trace) -> ExperimentResult:
-        """Execute the sweep; returns the merged, ordered result."""
+        """Execute the sweep; returns the merged, ordered result.
+
+        Shards that exhaust their attempts are quarantined rather than
+        aborting the sweep: their records are absent from the result,
+        they are listed in :attr:`quarantined` and the run manifest,
+        and a :class:`QuarantinedShards` warning is emitted — detected
+        and reported, never silently absorbed.
+        """
         planner = GridPlanner(grid)
         shards = planner.shards()
         telemetry = RunTelemetry(self.jobs)
         self.last_telemetry = telemetry
+        if self.fault_plan is not None:
+            telemetry.chaos = self.fault_plan.describe()
 
         journal: Optional[CheckpointJournal] = None
         done: Dict[str, List[ExperimentRecord]] = {}
@@ -105,10 +210,10 @@ class ParallelRunner:
                 done = journal.load()
             journal.start(fresh=not self.resume)
 
-        completed: Dict[int, List[ExperimentRecord]] = {}
+        execution = _Execution(self, grid, trace, shards, journal, telemetry)
         for shard in shards:
             if shard.key in done:
-                completed[shard.index] = done[shard.key]
+                execution.completed[shard.index] = done[shard.key]
                 telemetry.add(
                     ShardTiming(
                         key=shard.key,
@@ -118,18 +223,15 @@ class ParallelRunner:
                         cached=True,
                     )
                 )
-                self._report(shard.key, len(completed), len(shards))
-        pending = [s for s in shards if s.index not in completed]
+                execution.report(shard.key)
+        pending = [s for s in shards if s.index not in execution.completed]
 
         try:
-            if self.jobs == 1:
-                self._run_serial(
-                    grid, trace, pending, completed, journal, telemetry, shards
-                )
-            else:
-                self._run_pool(
-                    grid, trace, pending, completed, journal, telemetry, shards
-                )
+            if pending:
+                if self.jobs == 1:
+                    execution.run_serial(pending)
+                else:
+                    execution.run_pool(pending)
         finally:
             telemetry.finish()
             if journal is not None:
@@ -137,117 +239,387 @@ class ParallelRunner:
             if self.run_dir is not None:
                 telemetry.write_manifest(self.run_dir)
 
+        self.quarantined = dict(execution.quarantined)
         records: List[ExperimentRecord] = []
         for shard in shards:
-            records.extend(completed[shard.index])
+            if shard.index in execution.completed:
+                records.extend(execution.completed[shard.index])
+        if self.quarantined:
+            warnings.warn(
+                "%d shard(s) quarantined after %d attempts each and "
+                "excluded from the result: %s (see the run manifest)"
+                % (
+                    len(self.quarantined),
+                    self.max_attempts,
+                    ", ".join(sorted(self.quarantined)),
+                ),
+                QuarantinedShards,
+                stacklevel=2,
+            )
         return ExperimentResult(records=tuple(records))
 
-    # ------------------------------------------------------------------
 
-    def _report(self, key: str, done_count: int, total: int) -> None:
-        if self.progress is not None:
-            self.progress(key, done_count, total)
+class _Execution:
+    """One run's mutable scheduling state and recovery machinery."""
 
-    def _complete(
+    def __init__(
         self,
-        shard_key: str,
-        index: int,
+        runner: ParallelRunner,
+        grid: ExperimentGrid,
+        trace: Trace,
+        shards: Tuple[Shard, ...],
+        journal: Optional[CheckpointJournal],
+        telemetry: RunTelemetry,
+    ) -> None:
+        self.runner = runner
+        self.grid = grid
+        self.trace = trace
+        self.total = len(shards)
+        self.journal = journal
+        self.telemetry = telemetry
+        self.completed: Dict[int, List[ExperimentRecord]] = {}
+        self.quarantined: Dict[str, str] = {}
+        #: Failed executions consumed so far, by shard index.
+        self.attempts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # shared bookkeeping
+
+    def report(self, key: str) -> None:
+        if self.runner.progress is not None:
+            done = len(self.completed) + len(self.quarantined)
+            self.runner.progress(key, done, self.total)
+
+    def complete(
+        self,
+        shard: Shard,
         records: List[ExperimentRecord],
         packets: int,
         worker: int,
         wall_s: float,
-        completed: Dict[int, List[ExperimentRecord]],
-        journal: Optional[CheckpointJournal],
-        telemetry: RunTelemetry,
-        total: int,
     ) -> None:
         """Journal-then-account for one freshly executed shard."""
-        if journal is not None:
-            journal.append(shard_key, records)
-        completed[index] = records
-        telemetry.add(
+        if self.journal is not None:
+            self.journal.append(shard.key, records)
+        self.completed[shard.index] = records
+        self.telemetry.add(
             ShardTiming(
-                key=shard_key,
+                key=shard.key,
                 worker=worker,
                 wall_s=wall_s,
                 packets=packets,
                 cached=False,
             )
         )
-        self._report(shard_key, len(completed), total)
+        self.report(shard.key)
 
-    def _run_serial(
+    def verify(
         self,
-        grid: ExperimentGrid,
-        trace: Trace,
-        pending: List[Shard],
-        completed: Dict[int, List[ExperimentRecord]],
-        journal: Optional[CheckpointJournal],
-        telemetry: RunTelemetry,
-        shards: tuple,
+        shard: Shard,
+        index: int,
+        key: str,
+        records: List[ExperimentRecord],
+        packets: int,
+        digest: str,
     ) -> None:
-        context = ShardContext(trace, grid)
+        """Integrity-check a received result; raises on any mismatch."""
+        if index != shard.index or key != shard.key:
+            raise ShardCorruptionError(
+                "result for shard %s arrived labeled %s" % (shard.key, key)
+            )
+        if records_digest(packets, records) != digest:
+            raise ShardCorruptionError(
+                "result for shard %s failed its integrity digest" % shard.key
+            )
+
+    def register_failure(self, shard: Shard, exc: BaseException) -> bool:
+        """Account one failed attempt; ``True`` means retry, ``False``
+        means the shard was quarantined."""
+        used = self.attempts.get(shard.index, 0) + 1
+        self.attempts[shard.index] = used
+        detail = "%s: %s" % (type(exc).__name__, exc)
+        if used >= self.runner.max_attempts:
+            self.quarantined[shard.key] = detail
+            if self.journal is not None:
+                self.journal.append_quarantine(shard.key, used, detail)
+            self.telemetry.record_event(
+                "quarantine", shard=shard.key, attempt=used, detail=detail
+            )
+            self.report(shard.key)
+            return False
+        self.telemetry.record_event(
+            "retry", shard=shard.key, attempt=used, detail=detail
+        )
+        return True
+
+    def backoff_delay(self, shard: Shard) -> float:
+        """Exponential backoff with deterministic per-shard jitter."""
+        attempt = self.attempts.get(shard.index, 1)
+        base = self.runner.retry_backoff_s
+        jitter = Random("%s|%d" % (shard.key, attempt)).random() * base
+        return base * 2.0 ** (attempt - 1) + jitter
+
+    # ------------------------------------------------------------------
+    # serial execution (jobs=1, and the degraded-mode fallback)
+
+    def run_serial(self, pending: List[Shard]) -> None:
+        context = ShardContext(self.trace, self.grid)
         for shard in pending:
-            started = time.perf_counter()
-            records, packets = execute_shard(context, shard)
-            wall_s = time.perf_counter() - started
-            self._complete(
-                shard.key,
-                shard.index,
-                records,
-                packets,
-                os.getpid(),
-                wall_s,
-                completed,
-                journal,
-                telemetry,
-                len(shards),
-            )
+            self._run_one_serial(context, shard)
 
-    def _run_pool(
-        self,
-        grid: ExperimentGrid,
-        trace: Trace,
-        pending: List[Shard],
-        completed: Dict[int, List[ExperimentRecord]],
-        journal: Optional[CheckpointJournal],
-        telemetry: RunTelemetry,
-        shards: tuple,
-    ) -> None:
-        with SharedTraceBuffer(trace) as buffer:
-            pool = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=init_worker,
-                initargs=(buffer.spec, grid),
-            )
+    def _run_one_serial(self, context: ShardContext, shard: Shard) -> None:
+        while True:
+            attempt = self.attempts.get(shard.index, 0)
+            started = time.perf_counter()
             try:
-                futures = {
-                    pool.submit(run_shard_task, shard) for shard in pending
-                }
-                while futures:
-                    finished, futures = wait(
-                        futures, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        index, key, records, packets, pid, wall_s = (
-                            future.result()
+                records, packets, digest = execute_shard_with_faults(
+                    context,
+                    shard,
+                    attempt,
+                    self.runner.fault_plan,
+                    in_pool=False,
+                )
+                self.verify(
+                    shard, shard.index, shard.key, records, packets, digest
+                )
+            except Exception as exc:
+                if not self.register_failure(shard, exc):
+                    return
+                time.sleep(self.backoff_delay(shard))
+                continue
+            wall_s = time.perf_counter() - started
+            self.complete(shard, records, packets, os.getpid(), wall_s)
+            return
+
+    # ------------------------------------------------------------------
+    # pool execution
+
+    def run_pool(self, pending: List[Shard]) -> None:
+        reap_stale_segments()
+        crumb_dir = tempfile.mkdtemp(prefix="repro-engine-")
+        try:
+            with SharedTraceBuffer(self.trace) as buffer:
+                self._supervise(pending, buffer, crumb_dir)
+        finally:
+            shutil.rmtree(crumb_dir, ignore_errors=True)
+
+    def _new_pool(
+        self, buffer: SharedTraceBuffer, crumb_dir: str
+    ) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.runner.jobs,
+            initializer=init_worker,
+            initargs=(buffer.spec, self.grid, self.runner.fault_plan, crumb_dir),
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down *now*, stuck workers included."""
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        # wait=False: the terminated workers may never drain their
+        # queues; the executor's threads clean themselves up once the
+        # dead processes are reaped.
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _blamed_indices(self, crumb_dir: str) -> set:
+        """Shards dead workers were holding (and clear the breadcrumbs)."""
+        blamed = set()
+        try:
+            names = os.listdir(crumb_dir)
+        except OSError:
+            return blamed
+        for name in names:
+            path = os.path.join(crumb_dir, name)
+            try:
+                with open(path) as stream:
+                    text = stream.read().strip()
+                os.remove(path)
+            except OSError:
+                continue
+            if text.isdigit():
+                blamed.add(int(text))
+        return blamed
+
+    def _supervise(
+        self, pending: List[Shard], buffer: SharedTraceBuffer, crumb_dir: str
+    ) -> None:
+        """The pool supervision loop: submit, collect, recover."""
+        runner = self.runner
+        pool: Optional[ProcessPoolExecutor] = self._new_pool(buffer, crumb_dir)
+        rebuilds = 0
+        queue: deque = deque(pending)
+        delayed: List[Tuple[float, Shard]] = []  # (due monotonic, shard)
+        inflight: Dict[Future, List] = {}  # future -> [shard, running_since]
+
+        def recover(reason: str) -> bool:
+            """Kill + rebuild (or degrade); returns False on degrade."""
+            nonlocal pool, rebuilds
+            self._kill_pool(pool)
+            rebuilds += 1
+            self.telemetry.record_event("pool_rebuild", detail=reason)
+            blamed = self._blamed_indices(crumb_dir)
+            for shard, _ in inflight.values():
+                if shard.index in blamed:
+                    if self.register_failure(shard, PoolCrashError(reason)):
+                        delayed.append(
+                            (
+                                time.monotonic() + self.backoff_delay(shard),
+                                shard,
+                            )
                         )
-                        self._complete(
-                            key,
+                else:
+                    queue.append(shard)  # innocent bystander, no charge
+            inflight.clear()
+            if rebuilds > runner.max_pool_rebuilds:
+                self.telemetry.record_event(
+                    "serial_fallback",
+                    detail="pool collapsed %d times; finishing serially"
+                    % rebuilds,
+                )
+                pool = None
+                return False
+            pool = self._new_pool(buffer, crumb_dir)
+            return True
+
+        try:
+            while queue or delayed or inflight:
+                now = time.monotonic()
+                if delayed:
+                    due = [s for t, s in delayed if t <= now]
+                    delayed = [(t, s) for t, s in delayed if t > now]
+                    queue.extend(due)
+
+                while queue:
+                    shard = queue.popleft()
+                    attempt = self.attempts.get(shard.index, 0)
+                    try:
+                        future = pool.submit(run_shard_task, shard, attempt)
+                    except (BrokenExecutor, RuntimeError):
+                        queue.appendleft(shard)
+                        if not recover("pool broken at submit"):
+                            break
+                        continue
+                    inflight[future] = [shard, None]
+                if pool is None:
+                    break  # degraded
+
+                if not inflight:
+                    if delayed:
+                        next_due = min(t for t, _ in delayed)
+                        time.sleep(max(0.0, next_due - time.monotonic()))
+                    continue
+
+                finished, _ = wait(
+                    set(inflight), timeout=_TICK_S, return_when=FIRST_COMPLETED
+                )
+                pool_broke = False
+                for future in finished:
+                    shard, _ = inflight.pop(future)
+                    try:
+                        (
                             index,
+                            key,
                             records,
                             packets,
                             pid,
                             wall_s,
-                            completed,
-                            journal,
-                            telemetry,
-                            len(shards),
+                            digest,
+                        ) = future.result()
+                        self.verify(shard, index, key, records, packets, digest)
+                    except BrokenExecutor:
+                        # Every in-flight future is dead with the pool;
+                        # put this one back so recovery sees them all.
+                        inflight[future] = [shard, None]
+                        pool_broke = True
+                        break
+                    except Exception as exc:
+                        if self.register_failure(shard, exc):
+                            delayed.append(
+                                (
+                                    time.monotonic()
+                                    + self.backoff_delay(shard),
+                                    shard,
+                                )
+                            )
+                        continue
+                    self.complete(shard, records, packets, pid, wall_s)
+                if pool_broke:
+                    if not recover("worker process died"):
+                        break
+                    continue
+
+                # Deadline scan: start a shard's clock when it is first
+                # observed running, fail it once the deadline passes.
+                now = time.monotonic()
+                expired: Optional[Tuple[Future, Shard]] = None
+                for future, entry in inflight.items():
+                    shard, running_since = entry
+                    if running_since is None:
+                        if future.running():
+                            entry[1] = now
+                    elif (
+                        runner.shard_timeout_s is not None
+                        and now - running_since > runner.shard_timeout_s
+                    ):
+                        expired = (future, shard)
+                        break
+                if expired is not None:
+                    future, shard = expired
+                    inflight.pop(future)
+                    exc = ShardTimeoutError(
+                        "shard %s exceeded its %.3gs deadline"
+                        % (shard.key, runner.shard_timeout_s)
+                    )
+                    if self.register_failure(shard, exc):
+                        delayed.append(
+                            (
+                                time.monotonic() + self.backoff_delay(shard),
+                                shard,
+                            )
                         )
-            finally:
-                # cancel_futures: an abort (progress exception, worker
-                # crash) must not wait out the whole backlog.
+                    # A stuck worker can only be preempted by tearing
+                    # the pool down around it.  The timed-out shard is
+                    # already charged; don't let its breadcrumb (or the
+                    # kill) charge anyone again.
+                    self._kill_pool(pool)
+                    rebuilds += 1
+                    self.telemetry.record_event(
+                        "pool_rebuild",
+                        detail="killed pool to preempt %s" % shard.key,
+                    )
+                    self._blamed_indices(crumb_dir)  # clear breadcrumbs
+                    for other, _ in inflight.values():
+                        queue.append(other)
+                    inflight.clear()
+                    if rebuilds > runner.max_pool_rebuilds:
+                        self.telemetry.record_event(
+                            "serial_fallback",
+                            detail="pool collapsed %d times; finishing "
+                            "serially" % rebuilds,
+                        )
+                        pool = None
+                        break
+                    pool = self._new_pool(buffer, crumb_dir)
+        finally:
+            if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)
+
+        remaining = sorted(
+            (
+                [s for s in queue]
+                + [s for _, s in delayed]
+                + [s for s, _ in inflight.values()]
+            ),
+            key=lambda s: s.index,
+        )
+        if remaining:
+            # Degraded mode: slow beats dead.  Same retry/quarantine
+            # accounting, same shard code path, no pool.
+            self.run_serial(remaining)
 
 
 def run_grid(
@@ -257,9 +629,22 @@ def run_grid(
     run_dir: Optional[str] = None,
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
+    max_attempts: int = 3,
+    retry_backoff_s: float = 0.05,
+    shard_timeout_s: Optional[float] = None,
+    max_pool_rebuilds: int = 3,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ExperimentResult:
     """Functional facade over :class:`ParallelRunner` (one-shot runs)."""
     runner = ParallelRunner(
-        jobs=jobs, run_dir=run_dir, resume=resume, progress=progress
+        jobs=jobs,
+        run_dir=run_dir,
+        resume=resume,
+        progress=progress,
+        max_attempts=max_attempts,
+        retry_backoff_s=retry_backoff_s,
+        shard_timeout_s=shard_timeout_s,
+        max_pool_rebuilds=max_pool_rebuilds,
+        fault_plan=fault_plan,
     )
     return runner.run(grid, trace)

@@ -15,13 +15,21 @@ block name and per-column (dtype, offset) so attachment needs no other
 channel.
 """
 
+import atexit
+import os
+import secrets
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.trace.trace import Trace
+
+#: Name prefix of every segment this module creates.  The owner's pid
+#: is baked into the name (``repro-trace-<pid>-<token>``) so the
+#: reaper can tell a live run's segment from a leaked one.
+SEGMENT_PREFIX = "repro-trace"
 
 #: Column transport order — Trace's slot order.
 _COLUMNS = (
@@ -75,12 +83,28 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = original
 
 
+def _new_segment(size: int) -> shared_memory.SharedMemory:
+    """Create a named, owner-stamped segment (collision-retried)."""
+    for _ in range(8):
+        name = "%s-%d-%s" % (SEGMENT_PREFIX, os.getpid(), secrets.token_hex(4))
+        try:
+            return shared_memory.SharedMemory(name=name, create=True, size=size)
+        except FileExistsError:
+            continue
+    raise RuntimeError("could not allocate a uniquely named shared segment")
+
+
 class SharedTraceBuffer:
     """Owner side: copies a trace into shared memory, exactly once.
 
     The parent keeps this object alive for the duration of the pool and
     calls :meth:`close` (or uses it as a context manager) afterwards;
-    closing unlinks the block.
+    closing unlinks the block.  Cleanup is guaranteed on every exit
+    path short of SIGKILL: a failure while populating the block unlinks
+    it before re-raising, and an ``atexit`` hook unlinks any buffer
+    still open at interpreter shutdown.  SIGKILL leaves the segment
+    behind by definition — that is what :func:`reap_stale_segments`
+    (run at the start of every pool run) is for.
     """
 
     def __init__(self, trace: Trace) -> None:
@@ -94,25 +118,33 @@ class SharedTraceBuffer:
             cursor += column.nbytes
         # shared_memory rejects zero-length blocks; an empty trace
         # still gets a one-byte allocation.
-        self._shm = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
-        for (name, dtype, offset) in offsets:
-            column = getattr(trace, name)
-            view = np.ndarray(
-                column.shape, dtype=dtype, buffer=self._shm.buf, offset=offset
-            )
-            view[:] = column
-        self.spec = SharedTraceSpec(
-            shm_name=self._shm.name,
-            n_packets=len(trace),
-            columns=tuple(offsets),
-        )
+        self._shm = _new_segment(max(cursor, 1))
         self._closed = False
+        try:
+            for (name, dtype, offset) in offsets:
+                column = getattr(trace, name)
+                view = np.ndarray(
+                    column.shape, dtype=dtype, buffer=self._shm.buf, offset=offset
+                )
+                view[:] = column
+            self.spec = SharedTraceSpec(
+                shm_name=self._shm.name,
+                n_packets=len(trace),
+                columns=tuple(offsets),
+            )
+        except BaseException:
+            # The segment exists but the buffer was never handed to the
+            # caller: without this unlink it would outlive the raise.
+            self.close()
+            raise
+        atexit.register(self.close)
 
     def close(self) -> None:
         """Release and unlink the block (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        atexit.unregister(self.close)
         self._shm.close()
         try:
             self._shm.unlink()
@@ -151,3 +183,54 @@ def attach_trace(spec: SharedTraceSpec) -> Tuple[Trace, shared_memory.SharedMemo
         dst_ports=columns["dst_ports"],
     )
     return trace, shm
+
+
+# ----------------------------------------------------------------------
+# reaping
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def reap_stale_segments(shm_dir: str = "/dev/shm") -> List[str]:
+    """Unlink trace segments whose owning process is dead.
+
+    A parent killed with SIGKILL (or OOM-killed) cannot run its own
+    cleanup, so its segment survives in ``/dev/shm`` and quietly eats
+    memory until reboot.  Every segment this module creates carries its
+    owner's pid in the name; this scan unlinks the ones whose owner no
+    longer exists.  Segments belonging to live processes — including
+    this one — are never touched.  Returns the reaped segment names.
+
+    No-op on platforms without a scannable ``/dev/shm``.
+    """
+    if not os.path.isdir(shm_dir):
+        return []
+    reaped = []
+    for fname in sorted(os.listdir(shm_dir)):
+        if not fname.startswith(SEGMENT_PREFIX + "-"):
+            continue
+        parts = fname.split("-")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            segment = _attach_untracked(fname)
+        except FileNotFoundError:
+            continue  # raced another reaper
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        reaped.append(fname)
+    return reaped

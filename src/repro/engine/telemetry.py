@@ -19,6 +19,22 @@ from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)
+class EngineEvent:
+    """One recovery-path occurrence: a retry, a quarantine, a pool
+    rebuild, or the fallback to serial execution.
+
+    The manifest lists every event so a sweep that survived failures
+    says so out loud — per the NetFlow-scale operational lesson,
+    partial failure must be *reported*, never absorbed silently.
+    """
+
+    kind: str  # "retry" | "quarantine" | "pool_rebuild" | "serial_fallback"
+    shard: Optional[str] = None
+    attempt: Optional[int] = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
 class ShardTiming:
     """One shard's execution report."""
 
@@ -42,11 +58,26 @@ class RunTelemetry:
     def __init__(self, jobs: int) -> None:
         self.jobs = jobs
         self.timings: List[ShardTiming] = []
+        self.events: List[EngineEvent] = []
+        #: Description of the run's fault plan, when chaos was injected.
+        self.chaos: Optional[dict] = None
         self._started = time.perf_counter()
         self._wall_s: Optional[float] = None
 
     def add(self, timing: ShardTiming) -> None:
         self.timings.append(timing)
+
+    def record_event(
+        self,
+        kind: str,
+        shard: Optional[str] = None,
+        attempt: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        """Record one recovery-path occurrence (see :class:`EngineEvent`)."""
+        self.events.append(
+            EngineEvent(kind=kind, shard=shard, attempt=attempt, detail=detail)
+        )
 
     def finish(self) -> None:
         """Stop the run clock (idempotent; first call wins)."""
@@ -72,7 +103,29 @@ class RunTelemetry:
         busy_s = sum(busy_by_worker.values())
         packets = sum(t.packets for t in executed)
         wall = self.wall_s
-        return {
+        quarantined = sorted(
+            {e.shard for e in self.events if e.kind == "quarantine" and e.shard}
+        )
+        payload = {
+            "retries": sum(e.kind == "retry" for e in self.events),
+            "quarantined": quarantined,
+            "pool_rebuilds": sum(e.kind == "pool_rebuild" for e in self.events),
+            "degraded_to_serial": any(
+                e.kind == "serial_fallback" for e in self.events
+            ),
+            "events": [
+                {
+                    "kind": e.kind,
+                    "shard": e.shard,
+                    "attempt": e.attempt,
+                    "detail": e.detail,
+                }
+                for e in self.events
+            ],
+        }
+        if self.chaos is not None:
+            payload["chaos"] = self.chaos
+        payload.update({
             "jobs": self.jobs,
             "wall_s": wall,
             "shards_total": len(self.timings),
@@ -99,7 +152,8 @@ class RunTelemetry:
                 }
                 for t in self.timings
             ],
-        }
+        })
+        return payload
 
     def write_manifest(self, run_dir: str) -> str:
         """Write ``manifest.json`` under the run directory."""

@@ -12,10 +12,27 @@ attribute arrays are O(population) per (interval, target) pair and are
 identical for every shard of an interval, so each process memoizes
 them in its :class:`ShardContext`.  The cache affects only speed —
 cached and uncached shards produce the same records.
+
+Fault tolerance plumbing lives at this layer too, because it must be
+common to both paths:
+
+* :func:`execute_shard_with_faults` consults the run's
+  :class:`~repro.engine.faults.FaultPlan` (if any) before and after the
+  real work, so injected crashes/hangs/corruption hit exactly where a
+  real failure would;
+* every result carries an integrity digest computed over its canonical
+  JSON form *at the worker*, which the parent recomputes — a corrupted
+  or misrouted result is a retryable failure, never a silent merge;
+* pool workers drop a breadcrumb file naming the shard they are
+  executing, so when a worker dies abruptly the parent knows which
+  shard to blame instead of penalizing everything in flight.
 """
 
+import hashlib
+import json
 import os
 import time
+from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -25,10 +42,19 @@ from repro.core.evaluation.comparison import (
     score_sample,
 )
 from repro.core.evaluation.experiment import ExperimentGrid, ExperimentRecord
+from repro.engine.checkpoint import record_to_json
+from repro.engine.faults import (
+    FaultPlan,
+    InjectedFaultError,
+    ShardTimeoutError,
+)
 from repro.engine.planner import Shard, shard_rng
 from repro.engine.sharedtrace import SharedTraceSpec, attach_trace
 from repro.trace.filters import prefix_interval
 from repro.trace.trace import Trace
+
+#: Exit status of an injected worker crash (visible in core dumps/strace).
+CRASH_EXIT_CODE = 86
 
 
 class ShardContext:
@@ -125,6 +151,85 @@ def execute_shard(
 
 
 # ----------------------------------------------------------------------
+# result integrity
+
+def records_digest(packets: int, records: List[ExperimentRecord]) -> str:
+    """Integrity digest over a shard's result payload.
+
+    Computed at the worker over the canonical JSON form and recomputed
+    by the parent on receipt; any divergence (a corrupted score, a
+    dropped record, a wrong packet count) turns into a retryable
+    :class:`~repro.engine.faults.ShardCorruptionError` instead of a
+    silently wrong merge.
+    """
+    payload = json.dumps(
+        [packets, [record_to_json(r) for r in records]], sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _corrupted(
+    records: List[ExperimentRecord], packets: int
+) -> Tuple[List[ExperimentRecord], int]:
+    """A detectably damaged copy of a shard result (for ``corrupt``)."""
+    if records:
+        head = records[0]
+        return [replace(head, replication=head.replication + 7919)] + list(
+            records[1:]
+        ), packets
+    return records, packets + 1
+
+
+def execute_shard_with_faults(
+    context: ShardContext,
+    shard: Shard,
+    attempt: int,
+    fault_plan: Optional[FaultPlan],
+    in_pool: bool,
+) -> Tuple[List[ExperimentRecord], int, str]:
+    """Run one shard attempt under the run's fault plan.
+
+    Returns ``(records, packets, digest)``.  The digest is computed
+    *before* an injected corruption mutates the payload — exactly the
+    ordering a real memory/transport corruption would have — so the
+    parent's recomputation catches it.
+    """
+    fault = (
+        fault_plan.fault_for(shard.key, attempt)
+        if fault_plan is not None
+        else None
+    )
+    if fault is not None:
+        if fault.kind == "crash":
+            if in_pool:
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedFaultError(
+                "injected crash at %s (attempt %d)" % (shard.key, attempt)
+            )
+        if fault.kind == "hang":
+            if in_pool:
+                # Sleep past the parent's deadline; the parent kills the
+                # pool long before this returns.  If no timeout is set
+                # the hang eventually resolves into a (very) slow shard.
+                time.sleep(fault.hang_s)
+            else:
+                raise ShardTimeoutError(
+                    "injected hang at %s (attempt %d)" % (shard.key, attempt)
+                )
+        if fault.kind == "error":
+            raise InjectedFaultError(
+                "injected error at %s (attempt %d)" % (shard.key, attempt)
+            )
+        if fault.kind == "slow":
+            time.sleep(fault.delay_s)
+    records, packets = execute_shard(context, shard)
+    digest = records_digest(packets, records)
+    if fault is not None and fault.kind == "corrupt":
+        records, packets = _corrupted(records, packets)
+    return records, packets, digest
+
+
+# ----------------------------------------------------------------------
 # process-pool plumbing
 
 #: Worker-global context, populated by :func:`init_worker`.  A module
@@ -132,32 +237,72 @@ def execute_shard(
 #: per-process state through.
 _WORKER_CONTEXT: Optional[ShardContext] = None
 _WORKER_SHM = None
+_WORKER_FAULTS: Optional[FaultPlan] = None
+_WORKER_CRUMB_DIR: Optional[str] = None
 
 
-def init_worker(spec: SharedTraceSpec, grid: ExperimentGrid) -> None:
+def init_worker(
+    spec: SharedTraceSpec,
+    grid: ExperimentGrid,
+    fault_plan: Optional[FaultPlan] = None,
+    crumb_dir: Optional[str] = None,
+) -> None:
     """Pool initializer: attach the shared trace, build the context.
 
     Runs once per worker process.  The attached segment is kept in a
     module global so the trace's column views stay backed for the
     worker's lifetime.
     """
-    global _WORKER_CONTEXT, _WORKER_SHM
+    global _WORKER_CONTEXT, _WORKER_SHM, _WORKER_FAULTS, _WORKER_CRUMB_DIR
     trace, shm = attach_trace(spec)
     _WORKER_SHM = shm
     _WORKER_CONTEXT = ShardContext(trace, grid)
+    _WORKER_FAULTS = fault_plan
+    _WORKER_CRUMB_DIR = crumb_dir
 
 
 def run_shard_task(
-    shard: Shard,
-) -> Tuple[int, str, List[ExperimentRecord], int, int, float]:
-    """Pool task: execute one shard in the initialized worker.
+    shard: Shard, attempt: int = 0
+) -> Tuple[int, str, List[ExperimentRecord], int, int, float, str]:
+    """Pool task: execute one shard attempt in the initialized worker.
 
-    Returns ``(index, key, records, window_packets, pid, wall_s)`` —
-    everything the parent needs for merging, journaling, and telemetry.
+    Returns ``(index, key, records, window_packets, pid, wall_s,
+    digest)`` — everything the parent needs for merging, journaling,
+    integrity checking, and telemetry.
+
+    The breadcrumb written before execution names the shard this
+    worker is holding; it is removed on any normal exit (including
+    exceptions) but survives ``os._exit``/SIGKILL, which is how the
+    parent attributes a dead worker to the shard that killed it.
     """
     if _WORKER_CONTEXT is None:
         raise RuntimeError("worker used before init_worker ran")
-    started = time.perf_counter()
-    records, packets = execute_shard(_WORKER_CONTEXT, shard)
-    wall_s = time.perf_counter() - started
-    return shard.index, shard.key, records, packets, os.getpid(), wall_s
+    crumb = None
+    if _WORKER_CRUMB_DIR is not None:
+        crumb = os.path.join(_WORKER_CRUMB_DIR, str(os.getpid()))
+        try:
+            with open(crumb, "w") as stream:
+                stream.write(str(shard.index))
+        except OSError:
+            crumb = None
+    try:
+        started = time.perf_counter()
+        records, packets, digest = execute_shard_with_faults(
+            _WORKER_CONTEXT, shard, attempt, _WORKER_FAULTS, in_pool=True
+        )
+        wall_s = time.perf_counter() - started
+        return (
+            shard.index,
+            shard.key,
+            records,
+            packets,
+            os.getpid(),
+            wall_s,
+            digest,
+        )
+    finally:
+        if crumb is not None:
+            try:
+                os.remove(crumb)
+            except OSError:
+                pass

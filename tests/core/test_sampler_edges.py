@@ -1,0 +1,150 @@
+"""Degenerate-input behavior of all five sampling methods.
+
+The sweep engine retries and quarantines failures, which makes it easy
+for a sampler that crashes on a pathological window (empty interval,
+one-packet interval, granularity coarser than the window) to hide
+inside recovery machinery.  These tests pin the intended behavior:
+degenerate inputs produce valid — possibly empty — samples or a
+clear ``ValueError`` at construction, never a crash mid-sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation.comparison import score_sample
+from repro.core.evaluation.experiment import ExperimentGrid
+from repro.core.evaluation.targets import PAPER_TARGETS
+from repro.core.sampling.factory import (
+    METHOD_NAMES,
+    PACKET_DRIVEN,
+    make_sampler,
+)
+from repro.core.sampling.timer import (
+    TimerStratifiedSampler,
+    TimerSystematicSampler,
+)
+from repro.trace.trace import Trace
+
+TIMER_METHODS = tuple(m for m in METHOD_NAMES if m not in PACKET_DRIVEN)
+
+
+def make_trace(timestamps_us):
+    n = len(timestamps_us)
+    return Trace(
+        timestamps_us=timestamps_us,
+        sizes=[552] * n,
+        protocols=[6] * n,
+        src_nets=[1] * n,
+        dst_nets=[1001] * n,
+        src_ports=[1024] * n,
+        dst_ports=[23] * n,
+    )
+
+
+@pytest.fixture()
+def empty_trace():
+    return make_trace([])
+
+
+@pytest.fixture()
+def one_packet_trace():
+    return make_trace([5000])
+
+
+class TestEmptyTrace:
+    @pytest.mark.parametrize("method", PACKET_DRIVEN)
+    def test_packet_methods_yield_empty_sample(self, method, empty_trace, rng):
+        sampler = make_sampler(method, 16, trace=empty_trace, rng=rng)
+        result = sampler.sample(empty_trace, rng=rng)
+        assert result.sample_size == 0
+        assert result.fraction == 0.0
+        assert result.population_size == 0
+
+    @pytest.mark.parametrize("method", TIMER_METHODS)
+    def test_timer_methods_cannot_derive_a_period(
+        self, method, empty_trace, rng
+    ):
+        with pytest.raises(ValueError, match="two packets"):
+            make_sampler(method, 16, trace=empty_trace, rng=rng)
+
+    @pytest.mark.parametrize(
+        "sampler_cls", [TimerSystematicSampler, TimerStratifiedSampler]
+    )
+    def test_explicit_period_timers_yield_empty_sample(
+        self, sampler_cls, empty_trace, rng
+    ):
+        result = sampler_cls(period_us=1000.0).sample(empty_trace, rng=rng)
+        assert result.sample_size == 0
+        assert result.fraction == 0.0
+
+
+class TestSinglePacketTrace:
+    @pytest.mark.parametrize("method", PACKET_DRIVEN)
+    def test_at_most_one_packet_selected(self, method, one_packet_trace, rng):
+        sampler = make_sampler(method, 4, trace=one_packet_trace, rng=rng)
+        result = sampler.sample(one_packet_trace, rng=rng)
+        assert result.sample_size <= 1
+        assert all(i == 0 for i in result.indices)
+
+    @pytest.mark.parametrize("method", PACKET_DRIVEN)
+    def test_granularity_one_selects_the_packet(
+        self, method, one_packet_trace, rng
+    ):
+        sampler = make_sampler(method, 1, trace=one_packet_trace)
+        result = sampler.sample(one_packet_trace, rng=rng)
+        assert list(result.indices) == [0]
+        assert result.fraction == 1.0
+
+    @pytest.mark.parametrize("method", TIMER_METHODS)
+    def test_timer_methods_cannot_derive_a_period(
+        self, method, one_packet_trace, rng
+    ):
+        with pytest.raises(ValueError, match="two packets"):
+            make_sampler(method, 4, trace=one_packet_trace, rng=rng)
+
+    def test_explicit_period_timer_selects_the_packet(self, one_packet_trace):
+        result = TimerSystematicSampler(period_us=1000.0).sample(
+            one_packet_trace
+        )
+        assert list(result.indices) == [0]
+
+
+class TestGranularityCoarserThanTrace:
+    """Granularity 64 against the ten-packet tiny trace: every method
+    must produce a valid (tiny) sample, and empty samples must score."""
+
+    GRANULARITY = 64
+
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    def test_sample_is_valid_and_tiny(self, method, tiny_trace, rng):
+        sampler = make_sampler(
+            method, self.GRANULARITY, trace=tiny_trace, rng=rng
+        )
+        result = sampler.sample(tiny_trace, rng=rng)
+        assert 0 <= result.sample_size <= len(tiny_trace)
+        assert result.population_size == len(tiny_trace)
+        if result.sample_size:
+            assert result.indices.min() >= 0
+            assert result.indices.max() < len(tiny_trace)
+            assert np.all(np.diff(result.indices) >= 0)
+
+    def test_systematic_phase_beyond_trace_is_empty_and_scores(
+        self, tiny_trace
+    ):
+        sampler = make_sampler(
+            "systematic", self.GRANULARITY, phase=len(tiny_trace) + 1
+        )
+        result = sampler.sample(tiny_trace)
+        assert result.sample_size == 0
+        for target in PAPER_TARGETS:
+            score = score_sample(tiny_trace, result, target)
+            assert score.phi == 0.0
+
+    def test_grid_sweep_completes_on_tiny_trace(self, tiny_trace):
+        grid = ExperimentGrid(
+            granularities=(self.GRANULARITY,), replications=2, seed=3
+        )
+        result = grid.run(tiny_trace)
+        # 5 methods x 1 granularity x 2 replications x 2 targets.
+        assert len(result.records) == 20
+        assert all(np.isfinite(r.phi) for r in result.records)

@@ -1,0 +1,164 @@
+"""Chaos acceptance tests: pool-level fault recovery, end to end.
+
+These runs really kill worker processes, really hang shards past the
+deadline, and really rebuild pools — then assert the merged result is
+bit-identical to a fault-free serial sweep and that no shared-memory
+segment outlives the run.  They are the slowest tests in the suite and
+carry the ``chaos`` marker so CI can run them as a dedicated job.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.core.evaluation.experiment import ExperimentGrid
+from repro.engine.checkpoint import record_to_json
+from repro.engine.faults import Fault, FaultPlan
+from repro.engine.planner import GridPlanner
+from repro.engine.runner import ParallelRunner, QuarantinedShards
+from repro.engine.sharedtrace import SEGMENT_PREFIX
+
+pytestmark = pytest.mark.chaos
+
+
+def canonical(result):
+    return [record_to_json(r) for r in result.records]
+
+
+def shm_segments():
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return set(glob.glob("/dev/shm/%s-*" % SEGMENT_PREFIX))
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return ExperimentGrid(granularities=(16, 128), replications=2, seed=23)
+
+
+@pytest.fixture(scope="module")
+def shards(grid):
+    return GridPlanner(grid).shards()
+
+
+@pytest.fixture(scope="module")
+def serial_result(grid, request):
+    trace = request.getfixturevalue("minute_trace")
+    return grid.run(trace)
+
+
+def test_chaos_run_is_bit_identical_to_fault_free_serial(
+    grid, shards, serial_result, minute_trace, tmp_path
+):
+    """The acceptance bar: kill or hang >= 10% of shards mid-sweep and
+    the recovered grid still equals a fault-free serial run exactly."""
+    assert len(shards) == 20
+    plan = (
+        FaultPlan(hang_s=15.0)
+        # 5 of 20 shards (25%) disrupted on their first attempt:
+        # two worker deaths, one hang past the deadline, one corrupted
+        # result, one plain worker exception.
+        .inject(shards[1].key, Fault("crash"))
+        .inject(shards[8].key, Fault("crash"))
+        .inject(shards[12].key, Fault("hang", hang_s=15.0))
+        .inject(shards[5].key, Fault("corrupt"))
+        .inject(shards[16].key, Fault("error"))
+    )
+    run_dir = os.environ.get("CHAOS_RUN_DIR") or str(tmp_path / "chaos-run")
+
+    before = shm_segments()
+    runner = ParallelRunner(
+        jobs=2,
+        run_dir=run_dir,
+        shard_timeout_s=2.0,
+        retry_backoff_s=0.01,
+        fault_plan=plan,
+    )
+    result = runner.run(grid, minute_trace)
+
+    assert canonical(result) == canonical(serial_result)
+    assert shm_segments() == before
+
+    manifest = json.load(open(os.path.join(run_dir, "manifest.json")))
+    assert manifest["quarantined"] == []
+    # Crashes arriving close together can coalesce into one collapse,
+    # and the hang shard may be blamed in a crash kill before its own
+    # deadline fires — but every disrupted shard is charged exactly one
+    # failed attempt, and at least one rebuild must have happened.
+    assert manifest["pool_rebuilds"] >= 1
+    assert manifest["retries"] >= 5
+    assert manifest["degraded_to_serial"] is False
+    assert manifest["chaos"]["explicit"]
+    assert manifest["shards_total"] == 20
+    assert manifest["shards_executed"] == 20
+
+
+def test_pool_poison_shard_is_quarantined_not_fatal(
+    grid, shards, serial_result, minute_trace, tmp_path
+):
+    poison = shards[3]
+    plan = FaultPlan().inject(poison.key, Fault("error"), attempts=None)
+    run_dir = str(tmp_path / "run")
+    runner = ParallelRunner(
+        jobs=2,
+        run_dir=run_dir,
+        max_attempts=2,
+        retry_backoff_s=0.01,
+        fault_plan=plan,
+    )
+    with pytest.warns(QuarantinedShards, match=poison.key):
+        result = runner.run(grid, minute_trace)
+
+    assert runner.quarantined.keys() == {poison.key}
+    expected = [
+        record_to_json(r)
+        for r in serial_result.records
+        if not (
+            r.method == poison.spec.method
+            and r.granularity == poison.spec.granularity
+            and r.replication == poison.replication
+        )
+    ]
+    assert canonical(result) == expected
+    manifest = json.load(open(os.path.join(run_dir, "manifest.json")))
+    assert manifest["quarantined"] == [poison.key]
+    assert shm_segments() == set() or poison.key not in shm_segments()
+
+
+def test_repeated_collapse_degrades_to_serial_and_finishes(
+    grid, shards, serial_result, minute_trace
+):
+    """A shard that kills every worker it touches forces rebuilds; after
+    ``max_pool_rebuilds`` the engine finishes the sweep in-process
+    rather than dying with the pool."""
+    poison = shards[7]
+    plan = FaultPlan().inject(poison.key, Fault("crash"), attempts=None)
+
+    before = shm_segments()
+    runner = ParallelRunner(
+        jobs=2,
+        max_attempts=3,
+        max_pool_rebuilds=1,
+        retry_backoff_s=0.01,
+        fault_plan=plan,
+    )
+    with pytest.warns(QuarantinedShards):
+        result = runner.run(grid, minute_trace)
+
+    summary = runner.last_telemetry.summary()
+    assert summary["degraded_to_serial"] is True
+    assert summary["pool_rebuilds"] == 2
+    assert summary["quarantined"] == [poison.key]
+    expected = [
+        record_to_json(r)
+        for r in serial_result.records
+        if not (
+            r.method == poison.spec.method
+            and r.granularity == poison.spec.granularity
+            and r.replication == poison.replication
+        )
+    ]
+    assert canonical(result) == expected
+    assert shm_segments() == before

@@ -107,3 +107,98 @@ class TestJournal:
         journal.start(fresh=True)
         journal.close()
         assert journal.load() == {}
+
+
+class TestTornTailRecovery:
+    """A run can die mid-``write``: the final journal line may then be
+    any prefix of a record — unparseable, or valid JSON that decodes to
+    the wrong shape.  Both must be dropped on load, and appending after
+    either must not concatenate onto the fragment."""
+
+    def _journal_with(self, tmp_path, records, tail):
+        journal = CheckpointJournal(str(tmp_path), fingerprint="fp")
+        journal.start(fresh=True)
+        journal.append("shard-a", list(records[:1]))
+        journal.close()
+        with open(journal.path, "a") as stream:
+            stream.write(tail)
+        return journal
+
+    def test_parseable_but_garbled_final_line_dropped(
+        self, tmp_path, records
+    ):
+        # Truncation landed exactly so the fragment is valid JSON with
+        # a records list whose entries are not decodable records.
+        self._journal_with(
+            tmp_path,
+            records,
+            '{"shard": "shard-b", "records": [{"target": "size"}]}',
+        )
+        reloaded = CheckpointJournal(str(tmp_path), fingerprint="fp").load()
+        assert set(reloaded) == {"shard-a"}
+
+    def test_non_dict_final_line_dropped(self, tmp_path, records):
+        self._journal_with(tmp_path, records, "42")
+        reloaded = CheckpointJournal(str(tmp_path), fingerprint="fp").load()
+        assert set(reloaded) == {"shard-a"}
+
+    def test_garbled_interior_line_raises(self, tmp_path, records):
+        journal = self._journal_with(
+            tmp_path, records, '{"shard": "shard-b", "records": [{}]}\n'
+        )
+        with open(journal.path, "a") as stream:
+            stream.write('{"shard": "shard-c", "records": []}\n')
+        with pytest.raises(CheckpointError, match="corrupt"):
+            CheckpointJournal(str(tmp_path), fingerprint="fp").load()
+
+    def test_append_after_torn_line_stays_clean(self, tmp_path, records):
+        """Regression: resuming used to append straight after the torn
+        fragment, gluing a fresh record onto it and corrupting an
+        interior line no later resume could recover from."""
+        self._journal_with(
+            tmp_path, records, '{"shard": "shard-b", "records": ['
+        )
+        journal = CheckpointJournal(str(tmp_path), fingerprint="fp")
+        journal.start(fresh=False)
+        journal.append("shard-b", list(records[1:2]))
+        journal.close()
+
+        reloaded = CheckpointJournal(str(tmp_path), fingerprint="fp").load()
+        assert set(reloaded) == {"shard-a", "shard-b"}
+        assert [record_to_json(r) for r in reloaded["shard-b"]] == [
+            record_to_json(records[1])
+        ]
+
+    def test_torn_header_gets_fresh_header_on_resume(self, tmp_path, records):
+        journal = CheckpointJournal(str(tmp_path), fingerprint="fp")
+        with open(journal.path, "w") as stream:
+            stream.write('{"journal": {"vers')  # died writing the header
+        journal.start(fresh=False)
+        journal.append("shard-a", list(records[:1]))
+        journal.close()
+        reloaded = CheckpointJournal(str(tmp_path), fingerprint="fp").load()
+        assert set(reloaded) == {"shard-a"}
+
+
+class TestQuarantineLines:
+    def test_quarantined_shards_are_not_completed(self, tmp_path, records):
+        journal = CheckpointJournal(str(tmp_path), fingerprint="fp")
+        journal.start(fresh=True)
+        journal.append("shard-a", list(records[:1]))
+        journal.append_quarantine("shard-b", attempts=3, error="boom")
+        journal.close()
+
+        reloaded = CheckpointJournal(str(tmp_path), fingerprint="fp").load()
+        assert set(reloaded) == {"shard-a"}  # shard-b re-attempts on resume
+
+        lines = [json.loads(l) for l in open(journal.path)]
+        quarantine = [e for e in lines if "quarantine" in e]
+        assert quarantine == [
+            {
+                "quarantine": {
+                    "shard": "shard-b",
+                    "attempts": 3,
+                    "error": "boom",
+                }
+            }
+        ]

@@ -1,9 +1,27 @@
 """Shared-memory trace transport: fidelity and cleanup."""
 
+import glob
+import os
+import subprocess
+import sys
+
 import pytest
 
-from repro.engine.sharedtrace import SharedTraceBuffer, attach_trace
+from repro.engine.sharedtrace import (
+    SEGMENT_PREFIX,
+    SharedTraceBuffer,
+    attach_trace,
+    reap_stale_segments,
+)
 from repro.trace.trace import Trace
+
+needs_dev_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no scannable /dev/shm"
+)
+
+
+def shm_segments():
+    return set(glob.glob("/dev/shm/%s-*" % SEGMENT_PREFIX))
 
 
 class TestRoundtrip:
@@ -56,3 +74,77 @@ class TestLifecycle:
         buffer = SharedTraceBuffer(tiny_trace)
         buffer.close()
         buffer.close()  # must not raise
+
+    @needs_dev_shm
+    def test_init_failure_unlinks_the_segment(self, tiny_trace, monkeypatch):
+        """Regression: a failure after the segment was created but
+        before the buffer was handed back used to leak the segment."""
+        import repro.engine.sharedtrace as sharedtrace
+
+        def explode(**kwargs):
+            raise RuntimeError("spec construction failed")
+
+        monkeypatch.setattr(sharedtrace, "SharedTraceSpec", explode)
+        before = shm_segments()
+        with pytest.raises(RuntimeError, match="spec construction"):
+            SharedTraceBuffer(tiny_trace)
+        assert shm_segments() == before
+
+    @needs_dev_shm
+    def test_runner_startup_failure_unlinks(self, minute_trace, monkeypatch):
+        """If the pool cannot even be constructed, the already-published
+        trace segment must not outlive the raised error."""
+        import repro.engine.runner as runner_module
+        from repro.core.evaluation.experiment import ExperimentGrid
+        from repro.engine.runner import ParallelRunner
+
+        def no_pool(*args, **kwargs):
+            raise OSError("fork refused")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", no_pool)
+        grid = ExperimentGrid(granularities=(32,), replications=1, seed=2)
+        before = shm_segments()
+        with pytest.raises(OSError, match="fork refused"):
+            ParallelRunner(jobs=2).run(grid, minute_trace)
+        assert shm_segments() == before
+
+
+@needs_dev_shm
+class TestReaper:
+    def test_dead_owner_segment_is_reaped(self, tmp_path):
+        """A SIGKILLed parent cannot clean up after itself; the next
+        run's reaper must."""
+        script = (
+            "import os\n"
+            "from multiprocessing import shared_memory, resource_tracker\n"
+            # The tracker must not adopt the segment, or it would unlink
+            # it at exit and there would be no leak to reap.
+            "resource_tracker.register = lambda *a, **k: None\n"
+            "name = '%s-%%d-feedbeef' %% os.getpid()\n"
+            "seg = shared_memory.SharedMemory(name=name, create=True, size=64)\n"
+            "seg.close()\n"
+            "print(name)\n"
+        ) % SEGMENT_PREFIX
+        name = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert os.path.exists("/dev/shm/%s" % name)  # leaked, owner dead
+
+        reaped = reap_stale_segments()
+        assert name in reaped
+        assert not os.path.exists("/dev/shm/%s" % name)
+
+    def test_live_owner_segment_is_spared(self, tiny_trace):
+        with SharedTraceBuffer(tiny_trace) as buffer:
+            assert reap_stale_segments() == []
+            trace, shm = attach_trace(buffer.spec)  # still attachable
+            del trace
+            shm.close()
+
+    def test_foreign_names_ignored(self, tmp_path):
+        # Nothing matching the prefix -> nothing scanned or unlinked.
+        assert reap_stale_segments(shm_dir=str(tmp_path)) == []
+        assert reap_stale_segments(shm_dir=str(tmp_path / "missing")) == []
