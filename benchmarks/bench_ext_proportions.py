@@ -11,7 +11,6 @@ quantifies the matrix pathology: estimated totals stay accurate while
 per-pair coverage collapses, because most pairs are tiny.
 """
 
-import numpy as np
 
 from repro.analysis.matrix import compare_matrices
 from repro.analysis.proportions import (

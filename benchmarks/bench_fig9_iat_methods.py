@@ -8,7 +8,6 @@ interarrival distribution toward the larger values."
 
 import numpy as np
 
-from repro.core.evaluation.comparison import population_proportions
 from repro.core.evaluation.experiment import ExperimentGrid, mean_phi_series
 from repro.core.evaluation.report import format_series_table
 from repro.core.evaluation.targets import INTERARRIVAL_TARGET

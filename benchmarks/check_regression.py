@@ -1,0 +1,104 @@
+"""Compare benchmark JSON records against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baseline.json --factor 2.0 \
+        benchmarks/bench_engine_scaling.json ...
+
+The baseline maps benchmark name -> {metric: seconds}.  Each current
+record contributes its ``wall_s`` entries (a flat dict of metric ->
+seconds, or nested one level as in the scaling record's per-worker
+map).  A metric regresses when current > factor * baseline; a metric
+present in the baseline but missing from the current records (or vice
+versa) is an error, so the gate cannot silently go stale.
+
+Exit status 0 when every metric is within budget, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten_wall(record):
+    """``wall_s`` as a flat {metric: seconds} dict."""
+    wall = record.get("wall_s")
+    if not isinstance(wall, dict):
+        raise SystemExit(
+            "record %r has no wall_s dict" % record.get("benchmark")
+        )
+    flat = {}
+    for key, value in wall.items():
+        if isinstance(value, dict):
+            for sub, seconds in value.items():
+                flat["%s/%s" % (key, sub)] = float(seconds)
+        else:
+            flat[key] = float(value)
+    return flat
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--factor", type=float, default=2.0)
+    parser.add_argument("records", nargs="+")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as stream:
+        baseline = json.load(stream)
+
+    current = {}
+    for path in args.records:
+        with open(path) as stream:
+            record = json.load(stream)
+        name = record.get("benchmark")
+        if not name:
+            raise SystemExit("%s: record has no 'benchmark' field" % path)
+        current[name] = flatten_wall(record)
+
+    failures = []
+    for name, metrics in sorted(baseline.items()):
+        if name not in current:
+            failures.append("baseline benchmark %r was not run" % name)
+            continue
+        for metric, budget in sorted(metrics.items()):
+            if metric not in current[name]:
+                failures.append(
+                    "%s: metric %r missing from current record" % (name, metric)
+                )
+                continue
+            observed = current[name].pop(metric)
+            limit = args.factor * budget
+            verdict = "ok" if observed <= limit else "REGRESSION"
+            print(
+                "%-15s %-22s %8.3fs  (baseline %.3fs, limit %.3fs)  %s"
+                % (name, metric, observed, budget, limit, verdict)
+            )
+            if observed > limit:
+                failures.append(
+                    "%s/%s: %.3fs > %.1fx baseline %.3fs"
+                    % (name, metric, observed, args.factor, budget)
+                )
+        for metric in sorted(current[name]):
+            failures.append(
+                "%s: metric %r has no baseline entry "
+                "(update benchmarks/baseline.json)" % (name, metric)
+            )
+    for name in sorted(set(current) - set(baseline)):
+        failures.append(
+            "benchmark %r has no baseline entry "
+            "(update benchmarks/baseline.json)" % name
+        )
+
+    if failures:
+        print()
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        return 1
+    print("\nall metrics within %.1fx of baseline" % args.factor)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

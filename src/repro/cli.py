@@ -1,6 +1,6 @@
 """Command-line front end.
 
-Nine subcommands cover the everyday workflow:
+Ten subcommands cover the everyday workflow:
 
 * ``generate`` — synthesize a calibrated trace and write it as pcap;
 * ``describe`` — print Table 2/3-style summary statistics of a trace;
@@ -18,7 +18,11 @@ Nine subcommands cover the everyday workflow:
 * ``netmon`` — run a trace through a simulated collection node and
   report SNMP-vs-collector agreement (Section 2 / Figure 1);
 * ``reproduce`` — the paper's whole analysis on a trace of your own;
-* ``fidelity`` — windowed phi of one sampling pass (drift detection).
+* ``fidelity`` — windowed phi of one sampling pass (drift detection);
+* ``report`` — summarize a finished run directory's observability
+  data (per-phase wall-clock breakdown, slowest shards, retry/fault
+  timeline) from its manifest and ``events.jsonl``; sweeps also take
+  ``--profile`` to record the full span tree while they run.
 
 Installed as ``repro-traffic`` (see pyproject).
 """
@@ -102,8 +106,40 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cli_obs(args: argparse.Namespace):
+    """Instrumentation for a sweep command, or ``None`` when off.
+
+    Built here (rather than inside the engine) so the trace-read span
+    lands in the same event log as the engine's own spans.
+    """
+    if not (args.run_dir or args.profile):
+        return None
+    from repro.obs import Instrumentation
+
+    return Instrumentation(profile=args.profile)
+
+
+def _print_profile(obs) -> None:
+    """End-of-run phase table for ``--profile`` without a run dir."""
+    from repro.obs import format_phase_table
+
+    snapshot = obs.snapshot()
+    phases = {
+        "engine:%s" % name: stats
+        for name, stats in snapshot["timers"].items()
+    }
+    print()
+    print("profile (busy seconds by engine span)")
+    print(format_phase_table(phases))
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
+    obs = _cli_obs(args)
+    if obs is not None:
+        with obs.span("trace_read"):
+            trace = _load_trace(args.trace)
+    else:
+        trace = _load_trace(args.trace)
     granularities = tuple(2**i for i in range(1, args.max_log2_granularity + 1))
     grid = ExperimentGrid(
         methods=tuple(args.methods),
@@ -112,7 +148,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         seed=args.seed,
         targets=(_TARGETS[args.target],),
     )
-    result = grid.run(trace, **_engine_kwargs(args))
+    result = grid.run(trace, **_engine_kwargs(args, obs))
     columns = {
         method: mean_phi_series(result, args.target, method)
         for method in args.methods
@@ -129,6 +165,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
         save_result(result, args.save)
         print("saved %d records to %s" % (len(result), args.save))
+    if args.profile and not args.run_dir and obs is not None:
+        _print_profile(obs)
+    if args.run_dir:
+        print(
+            "run artifacts in %s (inspect with: repro-traffic report %s)"
+            % (args.run_dir, args.run_dir)
+        )
     return 0
 
 
@@ -206,16 +249,41 @@ def _cmd_fidelity(args: argparse.Namespace) -> int:
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.core.evaluation.suite import reproduce_study
 
-    trace = _load_trace(args.trace)
+    obs = _cli_obs(args)
+    if obs is not None:
+        with obs.span("trace_read"):
+            trace = _load_trace(args.trace)
+    else:
+        trace = _load_trace(args.trace)
     report = reproduce_study(
         trace,
         quick=args.quick,
         phi_budget=args.phi_budget,
         replications=args.replications,
         seed=args.seed,
-        **_engine_kwargs(args),
+        **_engine_kwargs(args, obs),
     )
     print(report.render())
+    if args.profile and not args.run_dir and obs is not None:
+        _print_profile(obs)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import RunReport, render_metrics
+
+    if args.metrics:
+        text = render_metrics(args.run_dir)
+        if text is None:
+            print(
+                "no metrics.prom in %s (was the run observability-enabled?)"
+                % args.run_dir
+            )
+            return 1
+        print(text, end="")
+        return 0
+    report = RunReport.from_run_dir(args.run_dir)
+    print(report.render(top=args.top))
     return 0
 
 
@@ -305,9 +373,16 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "(kinds: crash, hang, slow, corrupt, error; plus seed=N, "
         "hang_s=S, slow_s=S, attempts=N|all)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record span start/end events for every engine phase; "
+        "with --run-dir they land in events.jsonl (see 'repro-traffic "
+        "report'), without one a phase table is printed after the run",
+    )
 
 
-def _engine_kwargs(args: argparse.Namespace) -> dict:
+def _engine_kwargs(args: argparse.Namespace, obs=None) -> dict:
     """Execution-engine keyword arguments from parsed engine flags."""
     fault_plan = None
     if args.chaos:
@@ -321,6 +396,8 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
         "max_attempts": args.max_attempts,
         "shard_timeout_s": args.shard_timeout or None,
         "fault_plan": fault_plan,
+        "profile": args.profile,
+        "obs": obs,
     }
 
 
@@ -424,6 +501,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fid.add_argument("--seed", type=int, default=0)
     fid.set_defaults(func=_cmd_fidelity)
+
+    rpt = sub.add_parser(
+        "report",
+        help="summarize a run directory: wall-clock breakdown, slowest "
+        "shards, retry/fault timeline",
+    )
+    rpt.add_argument(
+        "run_dir", help="a --run-dir written by experiment/reproduce"
+    )
+    rpt.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="slowest shards to list (default 10)",
+    )
+    rpt.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's Prometheus exposition (metrics.prom) instead",
+    )
+    rpt.set_defaults(func=_cmd_report)
     return parser
 
 

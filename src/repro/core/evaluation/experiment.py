@@ -155,6 +155,8 @@ class ExperimentGrid:
         max_attempts: int = 3,
         shard_timeout_s: Optional[float] = None,
         fault_plan=None,
+        profile: bool = False,
+        obs=None,
     ) -> ExperimentResult:
         """Execute the sweep on a parent trace.
 
@@ -185,6 +187,13 @@ class ExperimentGrid:
         fault_plan:
             Optional :class:`repro.engine.FaultPlan` injecting
             deterministic failures for chaos testing.
+        profile:
+            Record per-span events in the run's observability log
+            (see :mod:`repro.obs`); timers and counters are collected
+            whenever a ``run_dir`` is given even without it.
+        obs:
+            Optional externally owned
+            :class:`repro.obs.Instrumentation` to record into.
         """
         from repro.engine.runner import run_grid
 
@@ -197,6 +206,8 @@ class ExperimentGrid:
             max_attempts=max_attempts,
             shard_timeout_s=shard_timeout_s,
             fault_plan=fault_plan,
+            profile=profile,
+            obs=obs,
         )
 
 

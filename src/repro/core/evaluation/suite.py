@@ -154,6 +154,8 @@ def reproduce_study(
     max_attempts: int = 3,
     shard_timeout_s: Optional[float] = None,
     fault_plan=None,
+    profile: bool = False,
+    obs=None,
 ) -> StudyReport:
     """Run the paper's analysis families on one trace.
 
@@ -179,6 +181,10 @@ def reproduce_study(
         shard before quarantine, per-shard deadline in pool mode, and
         an optional deterministic chaos plan.  See
         :mod:`repro.engine.faults`.
+    profile, obs:
+        Observability controls for the φ sweep: per-span event
+        recording, and an optional externally owned
+        :class:`repro.obs.Instrumentation`.  See :mod:`repro.obs`.
     """
     if len(trace) < 1000:
         raise ValueError(
@@ -211,6 +217,8 @@ def reproduce_study(
         max_attempts=max_attempts,
         shard_timeout_s=shard_timeout_s,
         fault_plan=fault_plan,
+        profile=profile,
+        obs=obs,
     )
     checks = chi_square_phase_check(
         trace, granularity=50, phases=10 if quick else 50

@@ -16,6 +16,17 @@ serially.  This subpackage runs it as a sharded task graph instead:
   throughput, and worker utilization into the run manifest;
 * :mod:`repro.engine.runner` schedules it all.
 
+Observability is layered on through :mod:`repro.obs`: the runner opens
+hierarchical spans around planning, checkpoint I/O, shared-memory
+publication, and execution; workers report per-phase busy seconds
+(window/sample/score) and peak RSS alongside each result; every
+injected fault and recovery action becomes a structured event in the
+run directory's ``events.jsonl``; and counters/gauges land in the
+manifest plus a Prometheus-style ``metrics.prom``.  ``repro-traffic
+report <run-dir>`` renders it all.  With no run directory and no
+``profile=True`` the engine records into a shared null implementation —
+no events, no files, near-zero overhead, bit-identical results.
+
 The engine's contract: for a given grid and trace, the merged result is
 **bit-identical** across ``jobs=1``, ``jobs=N``, and any
 interrupt/resume sequence.  ``ExperimentGrid.run(trace, jobs=4)`` and

@@ -86,9 +86,13 @@ from repro.engine.worker import (
     ShardContext,
     execute_shard_with_faults,
     init_worker,
+    peak_rss_kb,
     records_digest,
     run_shard_task,
 )
+from repro.obs.events import EVENTS_FILENAME, write_events
+from repro.obs.exposition import render_prometheus
+from repro.obs.instrument import NULL_OBS, Instrumentation
 from repro.trace.trace import Trace
 
 #: Called after each shard reaches a terminal state (completed,
@@ -143,6 +147,19 @@ class ParallelRunner:
     fault_plan:
         Deterministic fault injection for chaos testing (see
         :mod:`repro.engine.faults`).  ``None`` injects nothing.
+    profile:
+        Record ``span_start``/``span_end`` events for every engine
+        span in the event log (deep-dive mode).  Timers, counters, and
+        gauges are collected whenever observability is on, profile or
+        not.
+    obs:
+        An externally owned :class:`~repro.obs.Instrumentation` to
+        record into (the CLI passes one so the trace-read span lands in
+        the same log).  Defaults to a fresh instance when a ``run_dir``
+        or ``profile`` asks for observability, and to the near-free
+        null implementation otherwise — with instrumentation disabled
+        the sweep's records are bit-identical and the engine's hot
+        path pays only no-op calls.
     """
 
     def __init__(
@@ -156,6 +173,8 @@ class ParallelRunner:
         shard_timeout_s: Optional[float] = None,
         max_pool_rebuilds: int = 3,
         fault_plan: Optional[FaultPlan] = None,
+        profile: bool = False,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % jobs)
@@ -178,8 +197,12 @@ class ParallelRunner:
         self.shard_timeout_s = shard_timeout_s
         self.max_pool_rebuilds = max_pool_rebuilds
         self.fault_plan = fault_plan
+        self.profile = profile
+        self.obs = obs
         #: Telemetry of the most recent :meth:`run`, for inspection.
         self.last_telemetry: Optional[RunTelemetry] = None
+        #: Instrumentation of the most recent :meth:`run`.
+        self.last_obs = None
         #: Quarantined shards of the most recent run: key -> error text.
         self.quarantined: Dict[str, str] = {}
 
@@ -192,9 +215,19 @@ class ParallelRunner:
         and a :class:`QuarantinedShards` warning is emitted — detected
         and reported, never silently absorbed.
         """
-        planner = GridPlanner(grid)
-        shards = planner.shards()
-        telemetry = RunTelemetry(self.jobs)
+        obs = self.obs
+        if obs is None:
+            if self.run_dir is not None or self.profile:
+                obs = Instrumentation(profile=self.profile)
+            else:
+                obs = NULL_OBS
+        self.last_obs = obs
+        obs.event("run_start", jobs=self.jobs)
+
+        with obs.span("plan"):
+            planner = GridPlanner(grid)
+            shards = planner.shards()
+        telemetry = RunTelemetry(self.jobs, obs=obs)
         self.last_telemetry = telemetry
         if self.fault_plan is not None:
             telemetry.chaos = self.fault_plan.describe()
@@ -207,13 +240,16 @@ class ParallelRunner:
                 planner.fingerprint(len(trace), trace.duration_us),
             )
             if self.resume:
-                done = journal.load()
+                with obs.span("resume_replay"):
+                    done = journal.load()
             journal.start(fresh=not self.resume)
 
         execution = _Execution(self, grid, trace, shards, journal, telemetry)
+        replayed = obs.counter("shards_replayed")
         for shard in shards:
             if shard.key in done:
                 execution.completed[shard.index] = done[shard.key]
+                replayed.inc()
                 telemetry.add(
                     ShardTiming(
                         key=shard.key,
@@ -228,15 +264,31 @@ class ParallelRunner:
 
         try:
             if pending:
-                if self.jobs == 1:
-                    execution.run_serial(pending)
-                else:
-                    execution.run_pool(pending)
+                with obs.span("execute"):
+                    if self.jobs == 1:
+                        execution.run_serial(pending)
+                    else:
+                        execution.run_pool(pending)
         finally:
             telemetry.finish()
             if journal is not None:
                 journal.close()
+            obs.event(
+                "run_end",
+                shards_completed=len(execution.completed),
+                shards_quarantined=len(execution.quarantined),
+                wall_s=round(telemetry.wall_s, 6),
+            )
             if self.run_dir is not None:
+                if obs.enabled:
+                    write_events(
+                        os.path.join(self.run_dir, EVENTS_FILENAME),
+                        obs.events,
+                    )
+                    with open(
+                        os.path.join(self.run_dir, "metrics.prom"), "w"
+                    ) as stream:
+                        stream.write(render_prometheus(obs.snapshot()))
                 telemetry.write_manifest(self.run_dir)
 
         self.quarantined = dict(execution.quarantined)
@@ -277,10 +329,15 @@ class _Execution:
         self.total = len(shards)
         self.journal = journal
         self.telemetry = telemetry
+        self.obs = telemetry.obs
         self.completed: Dict[int, List[ExperimentRecord]] = {}
         self.quarantined: Dict[str, str] = {}
         #: Failed executions consumed so far, by shard index.
         self.attempts: Dict[int, int] = {}
+        # Hot-path metrics, resolved once (dict lookups off the shard loop).
+        self._c_completed = self.obs.counter("shards_completed")
+        self._c_scanned = self.obs.counter("packets_scanned")
+        self._c_sampled = self.obs.counter("packets_sampled")
 
     # ------------------------------------------------------------------
     # shared bookkeeping
@@ -297,11 +354,28 @@ class _Execution:
         packets: int,
         worker: int,
         wall_s: float,
+        phases: Optional[Dict[str, float]] = None,
+        maxrss_kb: int = 0,
     ) -> None:
         """Journal-then-account for one freshly executed shard."""
         if self.journal is not None:
-            self.journal.append(shard.key, records)
+            with self.obs.span("checkpoint_io"):
+                self.journal.append(shard.key, records)
         self.completed[shard.index] = records
+        self._c_completed.inc()
+        self._c_scanned.inc(packets)
+        if records:
+            # Every record of a shard scores the same drawn sample, so
+            # the first one carries the shard's sample size.
+            self._c_sampled.inc(records[0].score.sample_size)
+        if self.obs.profile:
+            self.obs.event(
+                "shard_done",
+                shard=shard.key,
+                worker=worker,
+                wall_s=round(wall_s, 6),
+                packets=packets,
+            )
         self.telemetry.add(
             ShardTiming(
                 key=shard.key,
@@ -309,9 +383,31 @@ class _Execution:
                 wall_s=wall_s,
                 packets=packets,
                 cached=False,
+                phases=dict(phases or {}),
+                maxrss_kb=maxrss_kb,
             )
         )
         self.report(shard.key)
+
+    def note_injected_fault(self, shard: Shard, attempt: int) -> None:
+        """Make an about-to-fire injected fault observable.
+
+        The parent consults the fault plan with exactly the worker's
+        inputs — the plan is a pure function of (seed, shard key,
+        attempt) — so even a fault that kills the worker before it can
+        say anything (``crash``) still lands in the event log.
+        """
+        plan = self.runner.fault_plan
+        if plan is None:
+            return
+        fault = plan.fault_for(shard.key, attempt)
+        if fault is not None:
+            self.telemetry.record_event(
+                "fault_injected",
+                shard=shard.key,
+                attempt=attempt,
+                detail=fault.kind,
+            )
 
     def verify(
         self,
@@ -370,6 +466,8 @@ class _Execution:
     def _run_one_serial(self, context: ShardContext, shard: Shard) -> None:
         while True:
             attempt = self.attempts.get(shard.index, 0)
+            self.note_injected_fault(shard, attempt)
+            phases: Dict[str, float] = {}
             started = time.perf_counter()
             try:
                 records, packets, digest = execute_shard_with_faults(
@@ -378,6 +476,7 @@ class _Execution:
                     attempt,
                     self.runner.fault_plan,
                     in_pool=False,
+                    phases=phases,
                 )
                 self.verify(
                     shard, shard.index, shard.key, records, packets, digest
@@ -388,7 +487,15 @@ class _Execution:
                 time.sleep(self.backoff_delay(shard))
                 continue
             wall_s = time.perf_counter() - started
-            self.complete(shard, records, packets, os.getpid(), wall_s)
+            self.complete(
+                shard,
+                records,
+                packets,
+                os.getpid(),
+                wall_s,
+                phases=phases,
+                maxrss_kb=peak_rss_kb(),
+            )
             return
 
     # ------------------------------------------------------------------
@@ -398,7 +505,10 @@ class _Execution:
         reap_stale_segments()
         crumb_dir = tempfile.mkdtemp(prefix="repro-engine-")
         try:
-            with SharedTraceBuffer(self.trace) as buffer:
+            with self.obs.span("shared_memory_publish"):
+                buffer = SharedTraceBuffer(self.trace)
+            self.obs.gauge("shared_memory_bytes").set(buffer.nbytes)
+            with buffer:
                 self._supervise(pending, buffer, crumb_dir)
         finally:
             shutil.rmtree(crumb_dir, ignore_errors=True)
@@ -503,6 +613,9 @@ class _Execution:
                         if not recover("pool broken at submit"):
                             break
                         continue
+                    # Observed only after a successful submit, so a
+                    # broken-pool resubmit does not double-log it.
+                    self.note_injected_fault(shard, attempt)
                     inflight[future] = [shard, None]
                 if pool is None:
                     break  # degraded
@@ -528,6 +641,8 @@ class _Execution:
                             pid,
                             wall_s,
                             digest,
+                            phases,
+                            maxrss_kb,
                         ) = future.result()
                         self.verify(shard, index, key, records, packets, digest)
                     except BrokenExecutor:
@@ -546,7 +661,15 @@ class _Execution:
                                 )
                             )
                         continue
-                    self.complete(shard, records, packets, pid, wall_s)
+                    self.complete(
+                        shard,
+                        records,
+                        packets,
+                        pid,
+                        wall_s,
+                        phases=phases,
+                        maxrss_kb=maxrss_kb,
+                    )
                 if pool_broke:
                     if not recover("worker process died"):
                         break
@@ -634,6 +757,8 @@ def run_grid(
     shard_timeout_s: Optional[float] = None,
     max_pool_rebuilds: int = 3,
     fault_plan: Optional[FaultPlan] = None,
+    profile: bool = False,
+    obs: Optional[Instrumentation] = None,
 ) -> ExperimentResult:
     """Functional facade over :class:`ParallelRunner` (one-shot runs)."""
     runner = ParallelRunner(
@@ -646,5 +771,7 @@ def run_grid(
         shard_timeout_s=shard_timeout_s,
         max_pool_rebuilds=max_pool_rebuilds,
         fault_plan=fault_plan,
+        profile=profile,
+        obs=obs,
     )
     return runner.run(grid, trace)

@@ -139,6 +139,11 @@ class SharedTraceBuffer:
             raise
         atexit.register(self.close)
 
+    @property
+    def nbytes(self) -> int:
+        """Allocated size of the shared segment, for telemetry."""
+        return self._shm.size
+
     def close(self) -> None:
         """Release and unlink the block (idempotent)."""
         if self._closed:

@@ -14,8 +14,20 @@ pool scores ~1.0; long tails and serialization stalls pull it down.
 import json
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.obs.instrument import NULL_OBS
+
+#: Counter names incremented per recovery event kind (see
+#: :meth:`RunTelemetry.record_event`).
+_EVENT_COUNTERS = {
+    "retry": "shards_retried",
+    "quarantine": "shards_quarantined",
+    "pool_rebuild": "pool_rebuilds",
+    "serial_fallback": "serial_fallbacks",
+    "fault_injected": "faults_injected",
+}
 
 
 @dataclass(frozen=True)
@@ -29,6 +41,7 @@ class EngineEvent:
     """
 
     kind: str  # "retry" | "quarantine" | "pool_rebuild" | "serial_fallback"
+    #       | "fault_injected"
     shard: Optional[str] = None
     attempt: Optional[int] = None
     detail: str = ""
@@ -43,6 +56,11 @@ class ShardTiming:
     wall_s: float
     packets: int  # window size the shard sampled from
     cached: bool  # replayed from a checkpoint, not executed
+    #: Per-phase busy seconds (window/sample/score), reported by the
+    #: executing process alongside the result.
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: Peak RSS of the executing process in KiB (0 when unknown).
+    maxrss_kb: int = 0
 
     @property
     def packets_per_s(self) -> float:
@@ -53,10 +71,18 @@ class ShardTiming:
 
 
 class RunTelemetry:
-    """Collects shard timings and renders the run manifest."""
+    """Collects shard timings and renders the run manifest.
 
-    def __init__(self, jobs: int) -> None:
+    ``obs`` is the run's :class:`~repro.obs.instrument.Instrumentation`
+    (or the shared null instance): every recovery event recorded here
+    is forwarded into the structured event log and counted, so the
+    manifest, the event log, and the Prometheus exposition never
+    disagree about what happened.
+    """
+
+    def __init__(self, jobs: int, obs=NULL_OBS) -> None:
         self.jobs = jobs
+        self.obs = obs
         self.timings: List[ShardTiming] = []
         self.events: List[EngineEvent] = []
         #: Description of the run's fault plan, when chaos was injected.
@@ -66,6 +92,8 @@ class RunTelemetry:
 
     def add(self, timing: ShardTiming) -> None:
         self.timings.append(timing)
+        if timing.maxrss_kb:
+            self.obs.gauge("worker_peak_rss_kb").high(timing.maxrss_kb)
 
     def record_event(
         self,
@@ -77,6 +105,12 @@ class RunTelemetry:
         """Record one recovery-path occurrence (see :class:`EngineEvent`)."""
         self.events.append(
             EngineEvent(kind=kind, shard=shard, attempt=attempt, detail=detail)
+        )
+        counter = _EVENT_COUNTERS.get(kind)
+        if counter is not None:
+            self.obs.counter(counter).inc()
+        self.obs.event(
+            kind, shard=shard, attempt=attempt, detail=detail or None
         )
 
     def finish(self) -> None:
@@ -96,10 +130,13 @@ class RunTelemetry:
         """The manifest payload."""
         executed = [t for t in self.timings if not t.cached]
         busy_by_worker: Dict[int, float] = {}
+        phase_totals: Dict[str, float] = {}
         for timing in executed:
             busy_by_worker[timing.worker] = (
                 busy_by_worker.get(timing.worker, 0.0) + timing.wall_s
             )
+            for phase, seconds in timing.phases.items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
         busy_s = sum(busy_by_worker.values())
         packets = sum(t.packets for t in executed)
         wall = self.wall_s
@@ -125,6 +162,8 @@ class RunTelemetry:
         }
         if self.chaos is not None:
             payload["chaos"] = self.chaos
+        if self.obs.enabled:
+            payload["obs"] = self.obs.snapshot()
         payload.update({
             "jobs": self.jobs,
             "wall_s": wall,
@@ -141,6 +180,10 @@ class RunTelemetry:
             },
             "packets_sampled_from": packets,
             "packets_per_s": packets / wall if wall > 0 else 0.0,
+            "phase_totals": {
+                phase: round(seconds, 6)
+                for phase, seconds in sorted(phase_totals.items())
+            },
             "shards": [
                 {
                     "key": t.key,
@@ -149,6 +192,11 @@ class RunTelemetry:
                     "packets": t.packets,
                     "packets_per_s": round(t.packets_per_s, 3),
                     "cached": t.cached,
+                    "phases": {
+                        phase: round(seconds, 6)
+                        for phase, seconds in sorted(t.phases.items())
+                    },
+                    "maxrss_kb": t.maxrss_kb,
                 }
                 for t in self.timings
             ],

@@ -106,7 +106,9 @@ class ShardContext:
 
 
 def execute_shard(
-    context: ShardContext, shard: Shard
+    context: ShardContext,
+    shard: Shard,
+    phases: Optional[Dict[str, float]] = None,
 ) -> Tuple[List[ExperimentRecord], int]:
     """Run one cell: draw the sample, score it against every target.
 
@@ -114,8 +116,18 @@ def execute_shard(
     the window size, for throughput telemetry.  An empty window yields
     no records, matching the serial harness's behavior of skipping
     intervals that contain no packets.
+
+    When ``phases`` is a dict, the per-phase busy seconds of this
+    execution (``window`` extraction, ``sample`` drawing, ``score``)
+    are accumulated into it — monotonic-clock deltas only, and never
+    an input to the computation, so the records are identical with or
+    without timing.
     """
+    marks = time.perf_counter if phases is not None else None
+    t0 = marks() if marks else 0.0
     window, proportions, values = context.window(shard.interval_us)
+    if marks:
+        phases["window"] = phases.get("window", 0.0) + marks() - t0
     if not len(window):
         return [], 0
     grid = context.grid
@@ -125,9 +137,13 @@ def execute_shard(
     effective_interval = shard.interval_us
     if effective_interval is not None and len(window) == len(context.trace):
         effective_interval = None
+    t0 = marks() if marks else 0.0
     rng = shard_rng(grid.seed, shard, interval_us=effective_interval)
     sampler = shard.spec.build(trace=window, rng=rng)
     result = sampler.sample(window, rng=rng)
+    if marks:
+        phases["sample"] = phases.get("sample", 0.0) + marks() - t0
+        t0 = marks()
     records = []
     for target in grid.targets:
         score = score_sample(
@@ -147,7 +163,23 @@ def execute_shard(
                 score=score,
             )
         )
+    if marks:
+        phases["score"] = phases.get("score", 0.0) + marks() - t0
     return records, len(window)
+
+
+def peak_rss_kb() -> int:
+    """This process's peak resident set size in KiB (0 if unknowable).
+
+    ``resource`` is Unix-only and ``ru_maxrss`` is kibibytes on Linux;
+    a platform without it simply reports 0 rather than failing the
+    shard.
+    """
+    try:
+        import resource
+    except ImportError:
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 # ----------------------------------------------------------------------
@@ -186,13 +218,15 @@ def execute_shard_with_faults(
     attempt: int,
     fault_plan: Optional[FaultPlan],
     in_pool: bool,
+    phases: Optional[Dict[str, float]] = None,
 ) -> Tuple[List[ExperimentRecord], int, str]:
     """Run one shard attempt under the run's fault plan.
 
     Returns ``(records, packets, digest)``.  The digest is computed
     *before* an injected corruption mutates the payload — exactly the
     ordering a real memory/transport corruption would have — so the
-    parent's recomputation catches it.
+    parent's recomputation catches it.  ``phases`` is forwarded to
+    :func:`execute_shard` for per-phase timing.
     """
     fault = (
         fault_plan.fault_for(shard.key, attempt)
@@ -222,7 +256,7 @@ def execute_shard_with_faults(
             )
         if fault.kind == "slow":
             time.sleep(fault.delay_s)
-    records, packets = execute_shard(context, shard)
+    records, packets = execute_shard(context, shard, phases=phases)
     digest = records_digest(packets, records)
     if fault is not None and fault.kind == "corrupt":
         records, packets = _corrupted(records, packets)
@@ -263,12 +297,18 @@ def init_worker(
 
 def run_shard_task(
     shard: Shard, attempt: int = 0
-) -> Tuple[int, str, List[ExperimentRecord], int, int, float, str]:
+) -> Tuple[
+    int, str, List[ExperimentRecord], int, int, float, str,
+    Dict[str, float], int,
+]:
     """Pool task: execute one shard attempt in the initialized worker.
 
     Returns ``(index, key, records, window_packets, pid, wall_s,
-    digest)`` — everything the parent needs for merging, journaling,
-    integrity checking, and telemetry.
+    digest, phases, maxrss_kb)`` — everything the parent needs for
+    merging, journaling, integrity checking, and telemetry.  The
+    ``phases`` mapping carries the shard's per-phase busy seconds and
+    ``maxrss_kb`` the worker's peak RSS, both of which ride back with
+    the result so observability costs no extra IPC round-trips.
 
     The breadcrumb written before execution names the shard this
     worker is holding; it is removed on any normal exit (including
@@ -286,9 +326,15 @@ def run_shard_task(
         except OSError:
             crumb = None
     try:
+        phases: Dict[str, float] = {}
         started = time.perf_counter()
         records, packets, digest = execute_shard_with_faults(
-            _WORKER_CONTEXT, shard, attempt, _WORKER_FAULTS, in_pool=True
+            _WORKER_CONTEXT,
+            shard,
+            attempt,
+            _WORKER_FAULTS,
+            in_pool=True,
+            phases=phases,
         )
         wall_s = time.perf_counter() - started
         return (
@@ -299,6 +345,8 @@ def run_shard_task(
             os.getpid(),
             wall_s,
             digest,
+            phases,
+            peak_rss_kb(),
         )
     finally:
         if crumb is not None:

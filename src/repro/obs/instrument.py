@@ -1,0 +1,286 @@
+"""Hierarchical spans, counters, and gauges for the execution engine.
+
+The engine's question during a slow sweep is always the same: *where
+did the time go?*  :class:`Instrumentation` answers it with three
+primitives, all zero-dependency and all safe to leave compiled into
+the hot path:
+
+* **spans** — nested, monotonic-clock timed sections
+  (``with obs.span("checkpoint_io"): ...``).  Every span aggregates
+  into a per-name timer (total seconds, call count, max) and, when
+  profiling is on, emits paired ``span_start``/``span_end`` events
+  into the run's event log;
+* **counters** — monotonically increasing totals (shards completed,
+  packets sampled, faults injected);
+* **gauges** — last-or-high-water values (shared-memory bytes, peak
+  worker RSS).
+
+Determinism contract
+--------------------
+Instrumentation must never perturb results.  Nothing here touches an
+RNG, and every recorded duration comes from ``time.perf_counter`` (a
+monotonic clock), never from wall-clock time — event payloads carry no
+wall-clock-derived values, so bit-identity checks over sweep records
+are unaffected whether instrumentation is on, off, or replayed.
+
+Disabled cost
+-------------
+:data:`NULL_OBS` implements the same surface as no-ops: ``span()``
+returns a shared, reusable null context manager and ``counter()`` /
+``gauge()`` return a shared metric whose methods do nothing.  A
+disabled call is one attribute lookup and an empty method body — the
+engine keeps a single code path instead of ``if obs is not None``
+forests.
+"""
+
+import time
+from typing import Any, Dict, List, Optional
+
+#: Event-log schema version (see :mod:`repro.obs.events`).
+SCHEMA_VERSION = 1
+
+
+class Counter:
+    """A named, monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A named point-in-time value with a high-water helper."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def high(self, value: float) -> None:
+        """Keep the maximum of the current and offered value."""
+        if value > self.value:
+            self.value = value
+
+
+class _Timer:
+    """Aggregated statistics of one span name."""
+
+    __slots__ = ("total_s", "count", "max_s")
+
+    def __init__(self) -> None:
+        self.total_s = 0.0
+        self.count = 0
+        self.max_s = 0.0
+
+    def add(self, duration_s: float) -> None:
+        self.total_s += duration_s
+        self.count += 1
+        if duration_s > self.max_s:
+            self.max_s = duration_s
+
+
+class _Span:
+    """One active span: a context manager bound to its instrumentation.
+
+    Spans form a stack per :class:`Instrumentation` (the engine's
+    supervision loop is single-threaded, so a plain list suffices);
+    the parent of a span is whatever was on top when it entered.
+    """
+
+    __slots__ = ("_obs", "name", "span_id", "parent_id", "_started")
+
+    def __init__(self, obs: "Instrumentation", name: str) -> None:
+        self._obs = obs
+        self.name = name
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        obs = self._obs
+        obs._next_span += 1
+        self.span_id = obs._next_span
+        stack = obs._stack
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
+        if obs.profile:
+            obs.event(
+                "span_start",
+                name=self.name,
+                span=self.span_id,
+                parent=self.parent_id,
+            )
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        duration_s = time.perf_counter() - self._started
+        obs = self._obs
+        if obs._stack and obs._stack[-1] is self:
+            obs._stack.pop()
+        timer = obs._timers.get(self.name)
+        if timer is None:
+            timer = obs._timers[self.name] = _Timer()
+        timer.add(duration_s)
+        if obs.profile:
+            obs.event(
+                "span_end",
+                name=self.name,
+                span=self.span_id,
+                parent=self.parent_id,
+                dur_s=round(duration_s, 6),
+            )
+
+
+class _NullMetric:
+    """Shared no-op counter/gauge for disabled instrumentation."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def high(self, value: float) -> None:
+        pass
+
+
+class _NullSpan:
+    """Shared no-op context manager for disabled instrumentation."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+_NULL_SPAN = _NullSpan()
+
+
+class Instrumentation:
+    """A run's live observability state: spans, counters, gauges, events.
+
+    Parameters
+    ----------
+    profile:
+        Emit ``span_start``/``span_end`` events for every span.  Off,
+        spans still aggregate into timers (that is what the manifest
+        and report consume); on, the event log additionally records
+        the full span tree for deep dives.
+
+    Events accumulate in memory (ordered by a monotone ``seq``) and
+    are written to ``events.jsonl`` at the end of the run by whoever
+    owns the run directory — durability of *results* is the checkpoint
+    journal's job, not the event log's.
+    """
+
+    enabled = True
+
+    def __init__(self, profile: bool = False) -> None:
+        self.profile = profile
+        self.events: List[Dict[str, Any]] = []
+        self._seq = 0
+        self._next_span = 0
+        self._stack: List[_Span] = []
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, _Timer] = {}
+
+    # ------------------------------------------------------------------
+    # primitives
+
+    def span(self, name: str) -> _Span:
+        """A timed, nested section (use as a context manager)."""
+        return _Span(self, name)
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def event(self, kind: str, **payload: Any) -> None:
+        """Append one structured event (``None`` values are dropped)."""
+        self._seq += 1
+        entry: Dict[str, Any] = {"v": SCHEMA_VERSION, "seq": self._seq, "kind": kind}
+        for key, value in payload.items():
+            if value is not None:
+                entry[key] = value
+        self.events.append(entry)
+
+    # ------------------------------------------------------------------
+    # export
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters, gauges, and span timers as a JSON-able mapping."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "timers": {
+                name: {
+                    "total_s": round(timer.total_s, 6),
+                    "count": timer.count,
+                    "max_s": round(timer.max_s, 6),
+                }
+                for name, timer in sorted(self._timers.items())
+            },
+        }
+
+
+class NullInstrumentation:
+    """The disabled twin of :class:`Instrumentation`: every call no-ops.
+
+    Kept API-compatible so engine code never branches on whether
+    observability is on; use the shared :data:`NULL_OBS` instance.
+    """
+
+    enabled = False
+    profile = False
+    #: Always empty; present so export paths can iterate uniformly.
+    events: List[Dict[str, Any]] = []
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def event(self, kind: str, **payload: Any) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "timers": {}}
+
+
+#: The shared disabled instance — near-free on every call.
+NULL_OBS = NullInstrumentation()

@@ -9,7 +9,6 @@ from repro.core.evaluation.targets import (
     PAPER_TARGETS,
     CharacterizationTarget,
 )
-from repro.trace.trace import Trace
 
 
 class TestPacketSizeTarget:

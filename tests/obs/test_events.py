@@ -1,0 +1,136 @@
+"""Event-log schema: JSONL round-trip and span-tree reconstruction."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventLogError,
+    Instrumentation,
+    read_events,
+    span_tree,
+    write_events,
+)
+
+
+def instrumented_run():
+    """A small synthetic run touching every event shape."""
+    obs = Instrumentation(profile=True)
+    obs.event("run_start", jobs=2)
+    with obs.span("plan"):
+        pass
+    with obs.span("execute"):
+        obs.event("fault_injected", shard="full/random/g16/r0", attempt=0,
+                  detail="error")
+        obs.event("retry", shard="full/random/g16/r0", attempt=0)
+        with obs.span("checkpoint_io"):
+            pass
+    obs.event("run_end", shards=4)
+    return obs
+
+
+class TestRoundTrip:
+    def test_every_emitted_event_round_trips(self, tmp_path):
+        obs = instrumented_run()
+        path = str(tmp_path / "events.jsonl")
+        write_events(path, obs.events)
+        decoded = read_events(path)
+        assert len(decoded) == len(obs.events)
+        rebuilt = [
+            dict({"v": 1, "seq": event.seq, "kind": event.kind}, **event.data)
+            for event in decoded
+        ]
+        assert rebuilt == obs.events
+
+    def test_seq_total_order_preserved(self, tmp_path):
+        obs = instrumented_run()
+        path = str(tmp_path / "events.jsonl")
+        write_events(path, obs.events)
+        seqs = [event.seq for event in read_events(path)]
+        assert seqs == sorted(seqs) == list(range(1, len(seqs) + 1))
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_events(str(tmp_path / "absent.jsonl")) == []
+
+
+class TestCorruptionHandling:
+    def test_torn_final_line_dropped(self, tmp_path):
+        obs = instrumented_run()
+        path = str(tmp_path / "events.jsonl")
+        write_events(path, obs.events)
+        with open(path, "a") as stream:
+            stream.write('{"v": 1, "seq": 99, "ki')  # died mid-write
+        assert len(read_events(path)) == len(obs.events)
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w") as stream:
+            stream.write('{"v": 1, "seq": 1, "kind": "run_start"}\n')
+            stream.write("not json\n")
+            stream.write('{"v": 1, "seq": 2, "kind": "run_end"}\n')
+        with pytest.raises(EventLogError, match="corrupt event line 2"):
+            read_events(path)
+
+    def test_schema_version_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w") as stream:
+            stream.write(json.dumps({"v": 99, "seq": 1, "kind": "x"}) + "\n")
+        with pytest.raises(EventLogError, match="version 99"):
+            read_events(path)
+
+
+class TestSpanTree:
+    def test_nesting_reconstructed(self, tmp_path):
+        obs = instrumented_run()
+        path = str(tmp_path / "events.jsonl")
+        write_events(path, obs.events)
+        roots = span_tree(read_events(path))
+        assert [root.name for root in roots] == ["plan", "execute"]
+        execute = roots[1]
+        assert [child.name for child in execute.children] == ["checkpoint_io"]
+        assert all(root.dur_s is not None for root in roots)
+        assert execute.children[0].parent_id == execute.span_id
+
+    def test_open_span_kept_without_duration(self):
+        obs = Instrumentation(profile=True)
+        span = obs.span("doomed")
+        span.__enter__()  # the run dies inside the span: no span_end
+        roots = span_tree(read_events_from(obs))
+        assert roots[0].name == "doomed"
+        assert roots[0].dur_s is None
+
+    def test_wrong_parent_raises(self):
+        events = events_from_dicts([
+            {"kind": "span_start", "name": "a", "span": 1, "parent": 77},
+        ])
+        with pytest.raises(EventLogError, match="opened under parent"):
+            span_tree(events)
+
+    def test_end_must_close_innermost(self):
+        events = events_from_dicts([
+            {"kind": "span_start", "name": "a", "span": 1},
+            {"kind": "span_start", "name": "b", "span": 2, "parent": 1},
+            {"kind": "span_end", "name": "a", "span": 1, "dur_s": 0.1},
+        ])
+        with pytest.raises(EventLogError, match="innermost"):
+            span_tree(events)
+
+
+def read_events_from(obs):
+    """In-memory Instrumentation events as decoded Event objects."""
+    return events_from_dicts(
+        [{k: v for k, v in e.items() if k not in ("v", "seq")} for e in obs.events]
+    )
+
+
+def events_from_dicts(entries):
+    from repro.obs.events import Event
+
+    return [
+        Event(
+            seq=i + 1,
+            kind=entry["kind"],
+            data={k: v for k, v in entry.items() if k != "kind"},
+        )
+        for i, entry in enumerate(entries)
+    ]

@@ -1,0 +1,136 @@
+"""End-to-end observability: a real sweep, its artifacts, and the report.
+
+One instrumented sweep (with a deterministic serial-safe fault) feeds
+every assertion here: the manifest's obs block, the event log on disk,
+the Prometheus exposition, the rendered report, the ``repro-traffic
+report`` command — and the determinism contract that instrumentation
+never changes results.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.evaluation.experiment import ExperimentGrid
+from repro.engine.checkpoint import record_to_json
+from repro.engine.faults import Fault, FaultPlan
+from repro.engine.planner import GridPlanner
+from repro.engine.runner import ParallelRunner, run_grid
+from repro.obs import EVENTS_FILENAME, RunReport, read_events, span_tree
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return ExperimentGrid(granularities=(16,), replications=2, seed=11)
+
+
+@pytest.fixture(scope="module")
+def faulted_run(grid, tmp_path_factory, request):
+    """One instrumented serial sweep with a first-attempt error fault."""
+    trace = request.getfixturevalue("minute_trace")
+    shard = GridPlanner(grid).shards()[0]
+    plan = FaultPlan().inject(shard.key, Fault("error"))
+    run_dir = str(tmp_path_factory.mktemp("obs") / "run")
+    runner = ParallelRunner(
+        run_dir=run_dir,
+        fault_plan=plan,
+        retry_backoff_s=0.001,
+        profile=True,
+    )
+    result = runner.run(grid, trace)
+    return run_dir, shard, result
+
+
+class TestRunArtifacts:
+    def test_run_dir_contains_observability_files(self, faulted_run):
+        run_dir, _, _ = faulted_run
+        names = sorted(os.listdir(run_dir))
+        assert "events.jsonl" in names
+        assert "metrics.prom" in names
+        assert "manifest.json" in names
+
+    def test_fault_and_retry_become_events(self, faulted_run):
+        run_dir, shard, _ = faulted_run
+        events = read_events(os.path.join(run_dir, EVENTS_FILENAME))
+        kinds = {event.kind for event in events}
+        assert {"run_start", "run_end", "fault_injected", "retry"} <= kinds
+        fault = next(e for e in events if e.kind == "fault_injected")
+        assert fault.get("shard") == shard.key
+        assert fault.get("detail") == "error"
+
+    def test_span_tree_reconstructs(self, faulted_run):
+        run_dir, _, _ = faulted_run
+        events = read_events(os.path.join(run_dir, EVENTS_FILENAME))
+        roots = span_tree(events)
+        names = [root.name for root in roots]
+        assert "plan" in names and "execute" in names
+        execute = roots[names.index("execute")]
+        assert any(c.name == "checkpoint_io" for c in execute.children)
+
+    def test_prometheus_exposition(self, faulted_run):
+        run_dir, _, _ = faulted_run
+        with open(os.path.join(run_dir, "metrics.prom")) as stream:
+            text = stream.read()
+        assert "# TYPE repro_shards_completed_total counter" in text
+        assert "repro_faults_injected_total 1" in text
+        assert "repro_shards_retried_total 1" in text
+        assert 'repro_span_seconds_total{span="execute"}' in text
+
+
+class TestRunReport:
+    def test_phase_breakdown_merges_engine_and_worker(self, faulted_run):
+        run_dir, _, _ = faulted_run
+        report = RunReport.from_run_dir(run_dir)
+        phases = report.phase_breakdown()
+        assert "engine:execute" in phases
+        assert "worker:sample" in phases and "worker:score" in phases
+        assert phases["worker:sample"]["count"] > 0
+
+    def test_render_has_every_section(self, faulted_run, grid):
+        run_dir, shard, _ = faulted_run
+        text = RunReport.from_run_dir(run_dir).render(top=3)
+        assert "phase breakdown" in text
+        assert "slowest shards (top 3" in text
+        assert "retry / fault timeline" in text
+        assert "fault_injected" in text and shard.key in text
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest.json"):
+            RunReport.from_run_dir(str(tmp_path))
+
+
+class TestReportCommand:
+    def test_report_prints_fault_timeline(self, faulted_run, capsys):
+        run_dir, shard, _ = faulted_run
+        assert main(["report", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "run report" in out
+        assert "fault_injected" in out and "retry" in out
+        assert shard.key in out
+
+    def test_report_metrics_mode(self, faulted_run, capsys):
+        run_dir, _, _ = faulted_run
+        assert main(["report", run_dir, "--metrics"]) == 0
+        assert "repro_faults_injected_total" in capsys.readouterr().out
+
+    def test_metrics_mode_fails_without_exposition(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path), "--metrics"]) == 1
+
+
+class TestDeterminismContract:
+    def test_instrumented_run_is_bit_identical(
+        self, faulted_run, grid, minute_trace
+    ):
+        """Profiling, events, and fault recovery never change results."""
+        _, _, instrumented = faulted_run
+        plain = run_grid(grid, minute_trace)
+        assert [record_to_json(r) for r in instrumented.records] == [
+            record_to_json(r) for r in plain.records
+        ]
+
+    def test_disabled_runner_stays_dark(self, grid, minute_trace):
+        runner = ParallelRunner()
+        runner.run(grid, minute_trace)
+        assert runner.last_obs.enabled is False
+        assert runner.last_obs.events == []

@@ -8,7 +8,6 @@ module stays under a minute.
 
 import importlib.util
 import io
-import sys
 from contextlib import redirect_stdout
 from pathlib import Path
 

@@ -1,7 +1,6 @@
 """Trace sanity checking."""
 
 import numpy as np
-import pytest
 
 from repro.trace.trace import Trace
 from repro.trace.validate import is_clean, validate_trace
