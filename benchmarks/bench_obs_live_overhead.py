@@ -1,0 +1,90 @@
+"""Live-monitor overhead benchmark: the per-packet observation path.
+
+The monitor's contract is that instrumentation is affordable in the
+forwarding loop and *near-free when disabled*.  Three variants of the
+same 1-in-50 selection loop are timed over a fixed slice of the
+calibrated hour:
+
+* ``offer_only`` — the bare sampler, no monitoring at all;
+* ``null_monitor`` — the loop as instrumented code ships it, with the
+  shared :data:`~repro.obs.live.NULL_MONITOR` (the disabled path);
+* ``enabled_monitor`` — a real :class:`~repro.obs.live.QualityMonitor`
+  scoring 30-second windows.
+
+Each is the best of a few rounds (min-of-N, as elsewhere); the record
+lands in ``bench_obs_live_overhead.json`` for the CI regression gate,
+which bounds all three — a regression in ``null_monitor`` means the
+disabled path stopped being near-free.
+"""
+
+import json
+import os
+import time
+
+from repro.core.sampling.streaming import StreamingSystematic
+from repro.obs.live import NULL_MONITOR, QualityMonitor
+
+GRANULARITY = 50
+PACKETS = 200_000
+ROUNDS = 3
+WINDOW_US = 30_000_000
+
+
+def _best_of(rounds, fn):
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_obs_live_overhead(hour_trace, emit):
+    timestamps = hour_trace.timestamps_us[:PACKETS].tolist()
+    sizes = [float(s) for s in hour_trace.sizes[:PACKETS]]
+    assert len(timestamps) == PACKETS
+
+    def offer_only():
+        sampler = StreamingSystematic(GRANULARITY)
+        kept = 0
+        for ts in timestamps:
+            kept += sampler.offer(ts)
+        return kept
+
+    def monitored(monitor):
+        sampler = StreamingSystematic(GRANULARITY)
+        for ts, size in zip(timestamps, sizes):
+            monitor.observe(ts, size, sampler.offer(ts))
+        monitor.flush()
+
+    walls = {}
+    walls["offer_only"] = _best_of(ROUNDS, offer_only)
+    walls["null_monitor"] = _best_of(ROUNDS, lambda: monitored(NULL_MONITOR))
+
+    def enabled():
+        monitored(QualityMonitor(window_us=WINDOW_US))
+
+    # Sanity: the enabled monitor actually closes and scores windows.
+    check = QualityMonitor(window_us=WINDOW_US)
+    monitored(check)
+    assert check.windows_closed >= 2
+    assert check.store.counter("monitor_packets_offered").value == PACKETS
+
+    walls["enabled_monitor"] = _best_of(ROUNDS, enabled)
+
+    record = {
+        "benchmark": "obs_live_overhead",
+        "packets": PACKETS,
+        "granularity": GRANULARITY,
+        "window_us": WINDOW_US,
+        "rounds": ROUNDS,
+        "cpu_count": os.cpu_count(),
+        "wall_s": {name: round(wall, 4) for name, wall in walls.items()},
+    }
+    out_path = os.path.join(
+        os.path.dirname(__file__), "bench_obs_live_overhead.json"
+    )
+    with open(out_path, "w") as stream:
+        json.dump(record, stream, indent=2)
+        stream.write("\n")
+    emit("obs live overhead: %s" % json.dumps(record, indent=2))

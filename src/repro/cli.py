@@ -1,6 +1,6 @@
 """Command-line front end.
 
-Ten subcommands cover the everyday workflow:
+Eleven subcommands cover the everyday workflow:
 
 * ``generate`` — synthesize a calibrated trace and write it as pcap;
 * ``describe`` — print Table 2/3-style summary statistics of a trace;
@@ -22,7 +22,13 @@ Ten subcommands cover the everyday workflow:
 * ``report`` — summarize a finished run directory's observability
   data (per-phase wall-clock breakdown, slowest shards, retry/fault
   timeline) from its manifest and ``events.jsonl``; sweeps also take
-  ``--profile`` to record the full span tree while they run.
+  ``--profile`` to record the full span tree while they run;
+* ``monitor`` — stream a trace through an online sampler with the
+  live quality monitor attached: windowed φ / χ² / cost per
+  characterization target, threshold + hysteresis alert rules, a
+  periodic console status line, OpenMetrics snapshots
+  (``--metrics-out``) or a ``/metrics`` HTTP port (``--serve-port``),
+  and an ``events.jsonl`` alert/heartbeat record under ``--run-dir``.
 
 Installed as ``repro-traffic`` (see pyproject).
 """
@@ -269,21 +275,219 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs import RunReport, render_metrics
+def _fail(message: str) -> int:
+    """One-line operational error on stderr; exit status 2."""
+    print("error: %s" % message, file=sys.stderr)
+    return 2
 
-    if args.metrics:
-        text = render_metrics(args.run_dir)
-        if text is None:
-            print(
-                "no metrics.prom in %s (was the run observability-enabled?)"
-                % args.run_dir
-            )
-            return 1
-        print(text, end="")
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import EventLogError, RunReport, render_metrics
+
+    try:
+        if args.metrics:
+            text = render_metrics(args.run_dir)
+            if text is None:
+                print(
+                    "no metrics.prom in %s (was the run observability-enabled?)"
+                    % args.run_dir
+                )
+                return 1
+            print(text, end="")
+            return 0
+        report = RunReport.from_run_dir(args.run_dir)
+        print(report.render(top=args.top))
         return 0
-    report = RunReport.from_run_dir(args.run_dir)
-    print(report.render(top=args.top))
+    except FileNotFoundError as error:
+        return _fail(str(error))
+    except (EventLogError, ValueError) as error:
+        return _fail("unreadable run artifacts in %s: %s" % (args.run_dir, error))
+    except OSError as error:
+        return _fail("cannot read %s: %s" % (args.run_dir, error))
+
+
+def _load_trace_or_fail(path: str):
+    """A trace, or ``None`` after printing a one-line error (exit 2)."""
+    from repro.trace.pcap import PcapError
+
+    try:
+        trace = _load_trace(path)
+    except FileNotFoundError:
+        _fail("trace file not found: %s" % path)
+        return None
+    except IsADirectoryError:
+        _fail("%s is a directory, not a pcap file" % path)
+        return None
+    except PcapError as error:
+        _fail("unreadable trace %s: %s" % (path, error))
+        return None
+    if not len(trace):
+        _fail("trace %s is empty — nothing to monitor" % path)
+        return None
+    return trace
+
+
+def _monitor_selector(args: argparse.Namespace, trace):
+    """The streaming keep/skip selector for the monitor subcommand."""
+    from repro.core.sampling.streaming import (
+        StreamingStratified,
+        StreamingSystematic,
+        StreamingTimerSystematic,
+    )
+
+    if args.method == "systematic":
+        return StreamingSystematic(args.granularity, phase=args.phase)
+    if args.method == "stratified":
+        rng = np.random.default_rng(args.seed)
+        return StreamingStratified(args.granularity, rng=rng)
+    period_us = args.period_us
+    if not period_us:
+        if len(trace) < 2:
+            raise ValueError("need at least two packets to derive a timer period")
+        mean_iat = trace.duration_us / (len(trace) - 1)
+        period_us = max(mean_iat, 1e-9) * args.granularity
+    return StreamingTimerSystematic(period_us=period_us)
+
+
+#: Default alert rules: the χ² goodness-of-fit test failing hard
+#: (p < 0.01) for three consecutive windows, clearing at p ≥ 0.05.
+#: Unlike a raw φ threshold, the significance level accounts for the
+#: window's sample size, so thin windows do not false-alarm; pass
+#: explicit --rule specs (e.g. φ thresholds sized to your windows) to
+#: override.
+DEFAULT_MONITOR_RULES = (
+    "chi2_p[packet-size]<0.01@3~0.05",
+    "chi2_p[interarrival]<0.01@3~0.05",
+)
+
+
+def _window_status_line(stats, active_alerts: int) -> str:
+    phi_size = stats.get("phi[packet-size]")
+    phi_iat = stats.get("phi[interarrival]")
+    fraction = stats.get("sampled_fraction") or 0.0
+    return (
+        "window %4d  t=%6ds  offered=%7d sampled=%6d (%.2f%%)  "
+        "phi[size]=%s phi[iat]=%s  alerts:%d"
+        % (
+            stats.index,
+            stats.end_us // 1_000_000,
+            stats.offered,
+            stats.sampled,
+            100.0 * fraction,
+            "%.4f" % phi_size if phi_size is not None else "(thin)",
+            "%.4f" % phi_iat if phi_iat is not None else "(thin)",
+            active_alerts,
+        )
+    )
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import EVENTS_FILENAME, Instrumentation, write_events
+    from repro.obs.live import (
+        AlertEngine,
+        AlertRule,
+        MetricsServer,
+        QualityMonitor,
+        TextfileExporter,
+        render_live_metrics,
+    )
+
+    specs = args.rule if args.rule else list(DEFAULT_MONITOR_RULES)
+    try:
+        rules = [AlertRule.from_spec(spec) for spec in specs]
+    except ValueError as error:
+        return _fail(str(error))
+    trace = _load_trace_or_fail(args.trace)
+    if trace is None:
+        return 2
+    try:
+        selector = _monitor_selector(args, trace)
+        monitor = QualityMonitor(
+            window_us=int(args.window * 1_000_000),
+            min_scored=args.min_scored,
+        )
+    except ValueError as error:
+        return _fail(str(error))
+
+    obs = Instrumentation()
+    engine = AlertEngine(rules, obs=obs, heartbeat_every=args.heartbeat_every)
+    exporter = TextfileExporter(args.metrics_out) if args.metrics_out else None
+    server = None
+    if args.serve_port is not None:
+        server = MetricsServer(
+            lambda: render_live_metrics(monitor.store), port=args.serve_port
+        )
+        print("serving OpenMetrics on %s" % server.url)
+    obs.event(
+        "monitor_start",
+        trace=args.trace,
+        method=args.method,
+        granularity=args.granularity,
+        window_s=args.window,
+        rules=[rule.label for rule in rules],
+    )
+    print(
+        "monitoring %s: %s 1-in-%d, %gs windows, %d packets"
+        % (args.trace, args.method, args.granularity, args.window, len(trace))
+    )
+
+    raised = 0
+    timestamps = trace.timestamps_us.tolist()
+    sizes = trace.sizes.tolist()
+
+    def handle_window(stats) -> None:
+        nonlocal raised
+        obs.event("window", **stats.as_dict())
+        for alert in engine.observe(stats):
+            if alert.kind == "alert_raised":
+                raised += 1
+            print(
+                "ALERT %s: %s %s (value %.4f at window %d)"
+                % (
+                    "raised" if alert.kind == "alert_raised" else "cleared",
+                    alert.rule,
+                    "breached" if alert.kind == "alert_raised" else "recovered",
+                    alert.value,
+                    alert.window,
+                )
+            )
+        if args.status_every and stats.index % args.status_every == 0:
+            print(_window_status_line(stats, len(engine.active)))
+        if exporter is not None:
+            exporter.export(monitor.store)
+
+    try:
+        for timestamp, size in zip(timestamps, sizes):
+            kept = selector.offer(timestamp)
+            for stats in monitor.observe(timestamp, float(size), kept):
+                handle_window(stats)
+        final = monitor.flush()
+        if final is not None:
+            handle_window(final)
+    finally:
+        if server is not None:
+            server.close()
+
+    obs.event(
+        "monitor_end",
+        windows=monitor.windows_closed,
+        alerts_raised=engine.raised_total,
+        alerts_active=len(engine.active),
+    )
+    if args.run_dir:
+        os.makedirs(args.run_dir, exist_ok=True)
+        write_events(os.path.join(args.run_dir, EVENTS_FILENAME), obs.events)
+        with open(os.path.join(args.run_dir, "metrics.prom"), "w") as stream:
+            stream.write(render_live_metrics(monitor.store))
+        print("monitor artifacts in %s" % args.run_dir)
+    print(
+        "done: %d windows, %d alerts raised, %d still active"
+        % (monitor.windows_closed, engine.raised_total, len(engine.active))
+    )
+    if args.fail_on_alert and engine.raised_total:
+        return 1
     return 0
 
 
@@ -522,6 +726,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the run's Prometheus exposition (metrics.prom) instead",
     )
     rpt.set_defaults(func=_cmd_report)
+
+    live = sub.add_parser(
+        "monitor",
+        help="stream a trace through an online sampler with the live "
+        "quality monitor: windowed phi/chi2/cost, alert rules, "
+        "OpenMetrics exposition",
+    )
+    live.add_argument("trace", help="pcap path or 'synthetic'")
+    live.add_argument(
+        "--method",
+        choices=("systematic", "stratified", "timer-systematic"),
+        default="systematic",
+        help="streaming selection rule (default systematic, the T3 "
+        "firmware's)",
+    )
+    live.add_argument("--granularity", type=int, default=50)
+    live.add_argument(
+        "--phase", type=int, default=0, help="systematic phase offset"
+    )
+    live.add_argument(
+        "--period-us",
+        type=float,
+        default=0.0,
+        help="explicit timer period for timer-systematic (default: "
+        "mean interarrival x granularity, derived from the trace)",
+    )
+    live.add_argument("--seed", type=int, default=0)
+    live.add_argument(
+        "--window",
+        type=float,
+        default=30.0,
+        help="quality window length in seconds (default 30)",
+    )
+    live.add_argument(
+        "--min-scored",
+        type=int,
+        default=10,
+        help="minimum parent and sampled values per window before a "
+        "target is scored (thinner windows report '(thin)')",
+    )
+    live.add_argument(
+        "--rule",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="alert rule 'metric>threshold[@N][~clear[@M]]', e.g. "
+        "'phi[interarrival]>0.05@3~0.02'; repeatable (default: the "
+        "chi2 test failing at p<0.01 for 3 windows on either target)",
+    )
+    live.add_argument(
+        "--heartbeat-every",
+        type=int,
+        default=10,
+        help="emit a heartbeat event every N windows (0 disables)",
+    )
+    live.add_argument(
+        "--status-every",
+        type=int,
+        default=5,
+        help="print a console status line every N windows (0 disables)",
+    )
+    live.add_argument(
+        "--metrics-out",
+        default="",
+        metavar="PATH",
+        help="write an atomic OpenMetrics textfile snapshot here after "
+        "every window (node-exporter textfile collector format)",
+    )
+    live.add_argument(
+        "--serve-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve GET /metrics on this port while monitoring "
+        "(0 picks an ephemeral port)",
+    )
+    live.add_argument(
+        "--run-dir",
+        default="",
+        help="directory for events.jsonl (alerts, heartbeats, windowed "
+        "quality points) and the final metrics.prom",
+    )
+    live.add_argument(
+        "--fail-on-alert",
+        action="store_true",
+        help="exit with status 1 if any alert was raised (for CI-style "
+        "sampling-design checks)",
+    )
+    live.set_defaults(func=_cmd_monitor)
     return parser
 
 

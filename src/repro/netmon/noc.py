@@ -8,9 +8,10 @@ poll-cycle chunks and accumulates the per-cycle reports.
 """
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.netmon.node import BackboneNode
+from repro.obs.instrument import NULL_OBS
 from repro.trace.filters import time_window
 from repro.trace.trace import Trace
 
@@ -36,7 +37,10 @@ class CollectionAgent:
     """Polls nodes on a fixed cycle and stores their reports."""
 
     def __init__(
-        self, nodes: List[BackboneNode], poll_period_s: int = POLL_PERIOD_S
+        self,
+        nodes: List[BackboneNode],
+        poll_period_s: int = POLL_PERIOD_S,
+        obs: Any = NULL_OBS,
     ) -> None:
         if not nodes:
             raise ValueError("the agent needs at least one node")
@@ -47,6 +51,7 @@ class CollectionAgent:
             raise ValueError("node names must be unique: %r" % (names,))
         self.nodes = list(nodes)
         self.poll_period_s = poll_period_s
+        self.obs = obs
         self.records: List[PollRecord] = []
 
     def run(self, traffic: Dict[str, Trace]) -> List[PollRecord]:
@@ -71,11 +76,45 @@ class CollectionAgent:
                 trace = traffic.get(node.name)
                 if trace is not None:
                     node.process_trace(time_window(trace, start, stop))
+                snapshot = node.snapshot()
                 self.records.append(
-                    PollRecord(cycle=cycle, node=node.name, snapshot=node.snapshot())
+                    PollRecord(cycle=cycle, node=node.name, snapshot=snapshot)
                 )
+                self._record_poll_telemetry(cycle, node.name, snapshot)
                 node.reset()
         return self.records
+
+    def _record_poll_telemetry(
+        self, cycle: int, node: str, snapshot: Dict
+    ) -> None:
+        """Per-poll counters and a structured event through ``obs``.
+
+        Free when observability is off (``obs`` defaults to the shared
+        null instrumentation); with it on, every poll cycle becomes a
+        ``poll`` event carrying the node's forwarding-path count and
+        the collector's examined/dropped health counters — the live
+        drop-rate feedback Section 2 says operators were missing.
+        """
+        collector = snapshot.get("collector", {})
+        examined = int(collector.get("examined_packets", 0))
+        dropped = int(collector.get("dropped_packets", 0))
+        packets = int(snapshot.get("interface", {}).get("packets", 0))
+        obs = self.obs
+        obs.counter("netmon_polls").inc()
+        obs.counter("netmon_forwarded_packets").inc(packets)
+        obs.counter("netmon_examined_packets").inc(examined)
+        obs.counter("netmon_dropped_packets").inc(dropped)
+        offered = examined + dropped
+        if offered:
+            obs.gauge("netmon_drop_rate").set(dropped / offered)
+        obs.event(
+            "poll",
+            cycle=cycle,
+            node=node,
+            packets=packets,
+            examined=examined,
+            dropped=dropped,
+        )
 
     def node_series(self, node: str) -> List[PollRecord]:
         """All poll records of one node, in cycle order."""

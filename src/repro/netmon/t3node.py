@@ -13,13 +13,14 @@ firmware 1-in-N selectors, whose selected streams are time-merged and
 offered to a single capacity-limited characterization CPU.
 """
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.netmon.arts import Subsystem, T3_SAMPLING_GRANULARITY
 from repro.netmon.objects import StatisticalObject, t3_object_set
 from repro.netmon.snmp import InterfaceCounters
+from repro.obs.instrument import NULL_OBS
 from repro.trace.trace import Trace
 
 
@@ -53,6 +54,12 @@ class T3Node:
         across all subsystems together.
     objects:
         Statistical objects; defaults to the T3 subset of Table 1.
+    obs:
+        Observability sink (an :class:`repro.obs.Instrumentation` or
+        the shared null instance).  Records offered/characterized/
+        dropped counters and the high-water per-second load on the
+        characterization CPU — the budget telemetry the live monitor
+        exposes.
     """
 
     def __init__(
@@ -62,6 +69,7 @@ class T3Node:
         granularity: int = T3_SAMPLING_GRANULARITY,
         cpu_capacity_pps: int = 2000,
         objects: Optional[List[StatisticalObject]] = None,
+        obs: Any = NULL_OBS,
     ) -> None:
         if not interfaces:
             raise ValueError("a node needs at least one interface")
@@ -76,6 +84,7 @@ class T3Node:
             iface: T3Interface(iface, granularity) for iface in interfaces
         }
         self.objects = objects if objects is not None else t3_object_set()
+        self.obs = obs
         self.characterized_packets = 0
         self.dropped_packets = 0
 
@@ -97,7 +106,12 @@ class T3Node:
         characterized = merged
         if len(merged) > self.cpu_capacity_pps:
             characterized = merged.slice_packets(0, self.cpu_capacity_pps)
-            self.dropped_packets += len(merged) - self.cpu_capacity_pps
+            dropped = len(merged) - self.cpu_capacity_pps
+            self.dropped_packets += dropped
+            self.obs.counter("t3_cpu_dropped_packets").inc(dropped)
+        self.obs.counter("t3_cpu_offered_packets").inc(len(merged))
+        self.obs.counter("t3_characterized_packets").inc(len(characterized))
+        self.obs.gauge("t3_cpu_offered_pps_max").high(len(merged))
         self.characterized_packets += len(characterized)
         for obj in self.objects:
             obj.observe(characterized)

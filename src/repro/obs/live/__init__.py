@@ -1,0 +1,58 @@
+"""``repro.obs.live`` — streaming observability for the online path.
+
+Where :mod:`repro.obs` watches the *batch* sweep engine, this
+subpackage watches packets as they flow: an online sampled-vs-parent
+quality monitor (windowed φ / χ² significance / l₁ cost over the
+paper's characterization bins), a ring-buffer metrics store with exact
+merge semantics, a threshold + hysteresis alert engine emitting
+schema-versioned events through the standard ``events.jsonl`` writer,
+and OpenMetrics exposition (atomic textfile snapshots plus an optional
+``/metrics`` HTTP endpoint).  Surfaced by the ``repro-traffic
+monitor`` CLI subcommand.
+
+Typical monitor-side use::
+
+    monitor = QualityMonitor(window_us=30_000_000)
+    engine = AlertEngine(
+        [AlertRule.from_spec("phi[interarrival]>0.05@3")], obs=obs
+    )
+    for packet in stream:
+        kept = selector.offer(packet.timestamp_us)
+        for window in monitor.observe(packet.timestamp_us, packet.size, kept):
+            for alert in engine.observe(window):
+                ...page someone...
+
+Disabled, :data:`NULL_MONITOR` keeps the same loop near-free and the
+keep/skip stream bit-identical.
+"""
+
+from repro.obs.live.alerts import AlertEngine, AlertEvent, AlertRule
+from repro.obs.live.expose import (
+    CONTENT_TYPE,
+    MetricsServer,
+    TextfileExporter,
+    render_live_metrics,
+)
+from repro.obs.live.monitor import (
+    NULL_MONITOR,
+    NullQualityMonitor,
+    QualityMonitor,
+    WindowStats,
+)
+from repro.obs.live.store import LiveMetricsStore, RingBuffer
+
+__all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "CONTENT_TYPE",
+    "LiveMetricsStore",
+    "MetricsServer",
+    "NULL_MONITOR",
+    "NullQualityMonitor",
+    "QualityMonitor",
+    "RingBuffer",
+    "TextfileExporter",
+    "WindowStats",
+    "render_live_metrics",
+]

@@ -1,0 +1,261 @@
+"""Threshold + hysteresis alerting over the windowed quality series.
+
+An operator watching a live sampling deployment wants a *decision*,
+not a time series: "this configuration has stopped being trustworthy".
+:class:`AlertEngine` turns the per-window metrics emitted by
+:class:`~repro.obs.live.monitor.QualityMonitor` into exactly that —
+each :class:`AlertRule` names a window metric, a threshold, and how
+many consecutive breaching windows it takes to raise (so a single
+noisy window cannot page anyone), plus an optional hysteresis clear
+threshold so an alert does not flap around its trigger level.
+
+Raised and cleared alerts become schema-versioned events through the
+run's :class:`~repro.obs.instrument.Instrumentation` (the same
+``events.jsonl`` writer the execution engine uses, so ``repro-traffic
+report`` and external tooling keep working); a configurable heartbeat
+event proves liveness when nothing is wrong.
+
+Rule specification grammar (the CLI's ``--rule``)::
+
+    <metric> <op> <threshold> [@N] [~<clear-threshold>[@M]]
+
+for example ``phi[interarrival]>0.05@3~0.02`` — raise after φ over the
+interarrival target exceeds 0.05 for 3 consecutive scored windows,
+clear once it falls to 0.02 or below (after 1 such window).  ``op`` is
+``>`` or ``<``; unscored (``None``) windows are neutral — they neither
+extend nor reset a streak.
+"""
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Protocol, Sequence, Tuple
+
+from repro.obs.instrument import NULL_OBS
+from repro.obs.live.monitor import WindowStats
+
+_SPEC_RE = re.compile(
+    r"""^\s*
+    (?P<metric>[^<>~@\s]+)\s*
+    (?P<op>[<>])\s*
+    (?P<threshold>[-+0-9.eE]+)\s*
+    (?:@\s*(?P<consecutive>\d+)\s*)?
+    (?:~\s*(?P<clear>[-+0-9.eE]+)\s*(?:@\s*(?P<clear_consecutive>\d+)\s*)?)?
+    $""",
+    re.VERBOSE,
+)
+
+
+class SupportsObs(Protocol):
+    """The slice of :class:`~repro.obs.instrument.Instrumentation` used here."""
+
+    def event(self, kind: str, **payload: Any) -> None: ...
+
+    def counter(self, name: str) -> Any: ...
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold rule over a window metric.
+
+    ``metric`` is a key of :attr:`WindowStats.metrics` (for example
+    ``phi[interarrival]``); the rule breaches when the window's value
+    compares ``op`` against ``threshold``, raises after ``consecutive``
+    breaching windows in a row, and clears after ``clear_consecutive``
+    windows at or past ``clear_threshold`` on the safe side (defaults
+    to the trigger threshold — no hysteresis band).
+    """
+
+    metric: str
+    op: str
+    threshold: float
+    consecutive: int = 1
+    clear_threshold: Optional[float] = None
+    clear_consecutive: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op not in (">", "<"):
+            raise ValueError("rule op must be '>' or '<', got %r" % (self.op,))
+        if self.consecutive < 1 or self.clear_consecutive < 1:
+            raise ValueError("consecutive window counts must be >= 1")
+        if not self.metric:
+            raise ValueError("rule needs a metric name")
+        clear = self.clear_threshold
+        if clear is not None:
+            if self.op == ">" and clear > self.threshold:
+                raise ValueError(
+                    "clear threshold %g must not exceed trigger threshold %g"
+                    % (clear, self.threshold)
+                )
+            if self.op == "<" and clear < self.threshold:
+                raise ValueError(
+                    "clear threshold %g must not undercut trigger threshold %g"
+                    % (clear, self.threshold)
+                )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "AlertRule":
+        """Parse the ``metric>threshold[@N][~clear[@M]]`` grammar."""
+        match = _SPEC_RE.match(spec)
+        if match is None:
+            raise ValueError(
+                "cannot parse alert rule %r (expected e.g. "
+                "'phi[interarrival]>0.05@3~0.02')" % (spec,)
+            )
+        clear = match.group("clear")
+        return cls(
+            metric=match.group("metric"),
+            op=match.group("op"),
+            threshold=float(match.group("threshold")),
+            consecutive=int(match.group("consecutive") or 1),
+            clear_threshold=float(clear) if clear is not None else None,
+            clear_consecutive=int(match.group("clear_consecutive") or 1),
+        )
+
+    @property
+    def label(self) -> str:
+        """The rule's display/event identity."""
+        return "%s%s%g@%d" % (self.metric, self.op, self.threshold, self.consecutive)
+
+    def breached(self, value: float) -> bool:
+        return value > self.threshold if self.op == ">" else value < self.threshold
+
+    def cleared(self, value: float) -> bool:
+        limit = self.clear_threshold if self.clear_threshold is not None else self.threshold
+        return value <= limit if self.op == ">" else value >= limit
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One raised or cleared alert, as returned to the caller."""
+
+    kind: str  # "alert_raised" | "alert_cleared"
+    rule: str
+    metric: str
+    value: float
+    window: int
+    consecutive: int
+
+
+@dataclass
+class _RuleState:
+    active: bool = False
+    breach_streak: int = 0
+    clear_streak: int = 0
+
+
+class AlertEngine:
+    """Evaluates alert rules window by window and emits alert events.
+
+    Parameters
+    ----------
+    rules:
+        The rule set; labels must be unique.
+    obs:
+        Event sink (an :class:`~repro.obs.instrument.Instrumentation`
+        or the null instance).  ``alert_raised``/``alert_cleared``
+        events carry the rule label, metric, breaching value, and
+        window index; a ``heartbeat`` event every ``heartbeat_every``
+        windows carries the window's headline numbers.
+    heartbeat_every:
+        0 disables heartbeats.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[AlertRule],
+        obs: SupportsObs = NULL_OBS,
+        heartbeat_every: int = 0,
+    ) -> None:
+        if heartbeat_every < 0:
+            raise ValueError("heartbeat_every must be >= 0")
+        labels = [rule.label for rule in rules]
+        if len(set(labels)) != len(labels):
+            raise ValueError("duplicate alert rule labels: %r" % (labels,))
+        self.rules: Tuple[AlertRule, ...] = tuple(rules)
+        self._obs = obs
+        self.heartbeat_every = heartbeat_every
+        self._states = [_RuleState() for _ in self.rules]
+        self._windows_seen = 0
+        self.raised_total = 0
+        self.cleared_total = 0
+
+    @property
+    def active(self) -> Tuple[str, ...]:
+        """Labels of the currently active (raised, uncleared) alerts."""
+        return tuple(
+            rule.label
+            for rule, state in zip(self.rules, self._states)
+            if state.active
+        )
+
+    def observe(self, stats: WindowStats) -> List[AlertEvent]:
+        """Feed one closed window; return alerts raised/cleared by it."""
+        events: List[AlertEvent] = []
+        for rule, state in zip(self.rules, self._states):
+            value = stats.metrics.get(rule.metric)
+            if value is None:
+                continue  # unscored window: neutral, streaks hold
+            if not state.active:
+                if rule.breached(value):
+                    state.breach_streak += 1
+                    if state.breach_streak >= rule.consecutive:
+                        state.active = True
+                        state.clear_streak = 0
+                        self.raised_total += 1
+                        events.append(
+                            self._emit("alert_raised", rule, value, stats,
+                                       state.breach_streak)
+                        )
+                else:
+                    state.breach_streak = 0
+            else:
+                if rule.cleared(value):
+                    state.clear_streak += 1
+                    if state.clear_streak >= rule.clear_consecutive:
+                        state.active = False
+                        state.breach_streak = 0
+                        self.cleared_total += 1
+                        events.append(
+                            self._emit("alert_cleared", rule, value, stats,
+                                       state.clear_streak)
+                        )
+                else:
+                    state.clear_streak = 0
+        self._windows_seen += 1
+        if self.heartbeat_every and self._windows_seen % self.heartbeat_every == 0:
+            self._obs.event(
+                "heartbeat",
+                window=stats.index,
+                offered=stats.offered,
+                sampled=stats.sampled,
+                active_alerts=len(self.active),
+            )
+        return events
+
+    def _emit(
+        self,
+        kind: str,
+        rule: AlertRule,
+        value: float,
+        stats: WindowStats,
+        consecutive: int,
+    ) -> AlertEvent:
+        event = AlertEvent(
+            kind=kind,
+            rule=rule.label,
+            metric=rule.metric,
+            value=float(value),
+            window=stats.index,
+            consecutive=consecutive,
+        )
+        self._obs.event(
+            kind,
+            rule=rule.label,
+            metric=rule.metric,
+            value=round(float(value), 6),
+            threshold=rule.threshold,
+            window=stats.index,
+            consecutive=consecutive,
+        )
+        self._obs.counter("monitor_alerts_%s" % kind.split("_")[1]).inc()
+        return event

@@ -1,0 +1,151 @@
+"""Live exposition: OpenMetrics textfile snapshots and a /metrics port.
+
+Two delivery paths, both stdlib-only:
+
+* :class:`TextfileExporter` writes the store's current exposition text
+  to a path atomically (write-to-temp + rename), the contract
+  node-exporter's textfile collector expects — a scraper never sees a
+  half-written snapshot;
+* :class:`MetricsServer` serves the same text over HTTP ``GET
+  /metrics`` from a daemon thread (``http.server``), for direct
+  Prometheus scraping of a long-running monitor.
+
+The text itself extends the engine's Prometheus renderer
+(:func:`repro.obs.exposition.render_prometheus`) with the live store's
+histogram families: each histogram becomes the conventional
+``<name>_bucket{le="..."}`` cumulative series plus ``_count``.
+"""
+
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List
+
+from repro.obs.exposition import PREFIX, render_prometheus
+from repro.obs.live.store import LiveMetricsStore
+
+#: Content type of the exposition format we emit.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _fmt_edge(edge: float) -> str:
+    return str(int(edge)) if float(edge).is_integer() else repr(float(edge))
+
+
+def render_live_metrics(store: LiveMetricsStore, prefix: str = PREFIX) -> str:
+    """The store's full exposition text (counters, gauges, histograms)."""
+    snapshot = store.snapshot()
+    text = render_prometheus(
+        {
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "timers": {},
+        },
+        prefix,
+    )
+    lines: List[str] = []
+    histograms: Dict[str, Dict[str, Any]] = snapshot["histograms"]
+    for name, data in sorted(histograms.items()):
+        metric = "%s_%s" % (prefix, name)
+        lines.append("# TYPE %s histogram" % metric)
+        cumulative = 0
+        for edge, count in zip(data["edges"], data["counts"]):
+            cumulative += int(count)
+            lines.append(
+                '%s_bucket{le="%s"} %d' % (metric, _fmt_edge(edge), cumulative)
+            )
+        lines.append('%s_bucket{le="+Inf"} %d' % (metric, int(data["total"])))
+        lines.append("%s_count %d" % (metric, int(data["total"])))
+    if not lines:
+        return text
+    return text + "\n".join(lines) + "\n"
+
+
+class TextfileExporter:
+    """Atomic OpenMetrics textfile snapshots for a scrape directory."""
+
+    def __init__(self, path: str) -> None:
+        if not path:
+            raise ValueError("exporter needs a target path")
+        self.path = path
+        self.writes = 0
+
+    def write(self, text: str) -> str:
+        """Replace the snapshot file atomically; returns the path."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        temp_path = self.path + ".tmp"
+        with open(temp_path, "w") as stream:
+            stream.write(text)
+        os.replace(temp_path, self.path)
+        self.writes += 1
+        return self.path
+
+    def export(self, store: LiveMetricsStore) -> str:
+        """Render and write the store in one step."""
+        return self.write(render_live_metrics(store))
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """GET /metrics returns the render callback's text; all else 404."""
+
+    # Set per-server via type(); declared here for mypy.
+    render: Callable[[], str] = staticmethod(lambda: "")
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        body = self.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # a monitor's stdout belongs to the status line, not access logs
+
+
+class MetricsServer:
+    """A background ``/metrics`` HTTP endpoint over a render callback.
+
+    ``port=0`` binds an ephemeral port (useful in tests); the bound
+    port is available as :attr:`port`.  The serving thread is a daemon,
+    so a dying monitor process never hangs on it; call :meth:`close`
+    (or use the instance as a context manager) for an orderly stop.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        handler = type(
+            "_BoundMetricsHandler", (_MetricsHandler,), {"render": staticmethod(render)}
+        )
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self.host = host
+        self.port = int(self._server.server_address[1])
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d/metrics" % (self.host, self.port)
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,184 @@
+"""Ring-buffer metrics store for the live monitoring path.
+
+A live monitor runs indefinitely, so nothing it keeps may grow with
+stream length: cumulative state is O(1) per metric (counters, gauges,
+fixed-edge histograms) and per-window history is a fixed-capacity ring
+that forgets the oldest windows.  The store is the bridge between the
+:class:`~repro.obs.live.monitor.QualityMonitor` producing values and
+the exposition side (:mod:`repro.obs.live.expose`) rendering them.
+
+Merge semantics are *exact* for the cumulative state — two disjoint
+streams' stores combine into precisely the store a single monitor over
+the concatenated stream would hold: counters add, gauges keep the
+high-water value, histograms add bin-wise (mismatched edges refuse to
+merge, via :meth:`repro.stats.streams.RunningHistogram.merge`).  The
+window ring, being a bounded history rather than a statistic, merges
+by interleaving on window start time and keeping the newest entries.
+"""
+
+from collections import deque
+from typing import Any, Deque, Dict, Generic, Iterator, List, Optional, Sequence, TypeVar
+
+from repro.obs.instrument import Counter, Gauge
+from repro.stats.streams import RunningHistogram
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """A fixed-capacity FIFO; appending past capacity drops the oldest.
+
+    ``dropped`` counts evictions so consumers can tell a complete
+    history from a truncated one.
+    """
+
+    __slots__ = ("capacity", "dropped", "_items")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1, got %d" % capacity)
+        self.capacity = capacity
+        self.dropped = 0
+        self._items: Deque[T] = deque(maxlen=capacity)
+
+    def append(self, item: T) -> None:
+        if len(self._items) == self.capacity:
+            self.dropped += 1
+        self._items.append(item)
+
+    def latest(self) -> Optional[T]:
+        """The most recently appended item, or ``None`` when empty."""
+        return self._items[-1] if self._items else None
+
+    def to_list(self) -> List[T]:
+        """Oldest-to-newest copy of the retained items."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+
+class LiveMetricsStore:
+    """Counters, gauges, windowed histograms, and a window-history ring.
+
+    Counters and gauges reuse the engine-side primitives from
+    :mod:`repro.obs.instrument`; histograms are the streaming
+    fixed-edge kind.  ``windows`` holds the last ``history`` closed
+    quality windows as plain JSON-able dicts (the exposition layer and
+    console status line read from it).
+    """
+
+    def __init__(self, history: int = 256) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, RunningHistogram] = {}
+        self.windows: RingBuffer[Dict[str, Any]] = RingBuffer(history)
+
+    # ------------------------------------------------------------------
+    # registration / access
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str, edges: Sequence[float]) -> RunningHistogram:
+        """The named cumulative histogram, created on first use.
+
+        Re-registering an existing name with different edges raises —
+        a silent edge change would corrupt the accumulated counts.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = RunningHistogram(edges)
+            return histogram
+        if list(histogram.edges) != [float(edge) for edge in edges]:
+            raise ValueError(
+                "histogram %r already registered with different edges" % name
+            )
+        return histogram
+
+    def histograms(self) -> Dict[str, RunningHistogram]:
+        """Name-to-histogram mapping (shared objects, not copies)."""
+        return dict(self._histograms)
+
+    # ------------------------------------------------------------------
+    # merge / export
+
+    def merge(self, other: "LiveMetricsStore") -> "LiveMetricsStore":
+        """Exact combination of two disjoint streams' stores.
+
+        Counters add, gauges keep the maximum, histograms add bin-wise
+        (mismatched edges raise).  The window rings interleave by
+        window start time; the merged ring keeps the newest entries up
+        to its own capacity.
+        """
+        merged = LiveMetricsStore(
+            history=max(self.windows.capacity, other.windows.capacity)
+        )
+        for name in sorted(set(self._counters) | set(other._counters)):
+            total = 0.0
+            for side in (self, other):
+                counter = side._counters.get(name)
+                if counter is not None:
+                    total += counter.value
+            merged.counter(name).inc(total)
+        for name in sorted(set(self._gauges) | set(other._gauges)):
+            for side in (self, other):
+                gauge = side._gauges.get(name)
+                if gauge is not None:
+                    merged.gauge(name).high(gauge.value)
+        for name in sorted(set(self._histograms) | set(other._histograms)):
+            mine = self._histograms.get(name)
+            theirs = other._histograms.get(name)
+            if mine is not None and theirs is not None:
+                combined = mine.merge(theirs)
+            else:
+                source = mine if mine is not None else theirs
+                assert source is not None
+                combined = source.merge(RunningHistogram(source.edges))
+            merged._histograms[name] = combined
+        ordered = sorted(
+            self.windows.to_list() + other.windows.to_list(),
+            key=lambda window: (window.get("start_us", 0), window.get("window", 0)),
+        )
+        for entry in ordered:
+            merged.windows.append(entry)
+        return merged
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters, gauges, and histograms as a JSON-able mapping.
+
+        The counter/gauge sections are shaped exactly like
+        :meth:`repro.obs.instrument.Instrumentation.snapshot` so the
+        existing Prometheus renderer consumes them unchanged; the
+        histogram section is specific to the live store.
+        """
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "timers": {},
+            "histograms": {
+                name: {
+                    "edges": [float(edge) for edge in histogram.edges],
+                    "counts": [int(count) for count in histogram.counts],
+                    "total": histogram.total,
+                }
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }

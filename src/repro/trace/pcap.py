@@ -13,7 +13,7 @@ numbering of the era; the reader inverts the same convention.
 """
 
 import struct
-from typing import BinaryIO, Iterator, Union
+from typing import Any, BinaryIO, Iterator, Union
 
 import numpy as np
 
@@ -158,7 +158,9 @@ DEFAULT_CHUNK_PACKETS = 262_144
 
 
 def iter_pcap(
-    source: Union[str, BinaryIO], chunk_packets: int = DEFAULT_CHUNK_PACKETS
+    source: Union[str, BinaryIO],
+    chunk_packets: int = DEFAULT_CHUNK_PACKETS,
+    obs: Any = None,
 ) -> Iterator[Trace]:
     """Stream a classic pcap file as :class:`Trace` chunks.
 
@@ -168,15 +170,24 @@ def iter_pcap(
     whole).  Concatenating every chunk reproduces :func:`read_pcap`'s
     result exactly.  An empty capture yields no chunks.
 
+    ``obs`` optionally takes an :class:`repro.obs.Instrumentation` (or
+    the null instance); each yielded chunk then increments the
+    ``pcap_chunks`` / ``pcap_packets`` ingest counters so a live
+    monitor can report collector read progress.
+
     Supports both byte orders (by magic), requires RAW-IP link type and
     microsecond timestamps, and tolerates truncated payload capture as
     long as the 20-byte IPv4 header plus any port fields were captured.
     """
     if chunk_packets < 1:
         raise ValueError("chunk_packets must be >= 1, got %d" % chunk_packets)
+    if obs is None:
+        from repro.obs.instrument import NULL_OBS
+
+        obs = NULL_OBS
     if isinstance(source, str):
         with open(source, "rb") as stream:
-            yield from iter_pcap(stream, chunk_packets=chunk_packets)
+            yield from iter_pcap(stream, chunk_packets=chunk_packets, obs=obs)
         return
 
     head = _read_exactly(source, _GLOBAL_HEADER.size)
@@ -256,10 +267,16 @@ def iter_pcap(
         src_ports.append(src_port)
         dst_ports.append(dst_port)
         if len(timestamps) >= chunk_packets:
-            yield flush()
+            chunk = flush()
+            obs.counter("pcap_chunks").inc()
+            obs.counter("pcap_packets").inc(len(chunk))
+            yield chunk
 
     if timestamps:
-        yield flush()
+        chunk = flush()
+        obs.counter("pcap_chunks").inc()
+        obs.counter("pcap_packets").inc(len(chunk))
+        yield chunk
 
 
 def read_pcap(source: Union[str, BinaryIO]) -> Trace:

@@ -1,0 +1,171 @@
+"""Alert rule grammar, streak/hysteresis logic, and event emission."""
+
+from types import MappingProxyType
+
+import pytest
+
+from repro.obs import SCHEMA_VERSION, Instrumentation, read_events, write_events
+from repro.obs.live import AlertEngine, AlertRule, WindowStats
+
+
+def window(index, **metrics):
+    """A minimal WindowStats carrying the given metric values."""
+    return WindowStats(
+        index=index,
+        start_us=index * 1_000,
+        end_us=(index + 1) * 1_000,
+        offered=100,
+        sampled=10,
+        metrics=MappingProxyType(metrics),
+    )
+
+
+def feed(engine, metric, values):
+    """Feed a value series as consecutive windows; return all events."""
+    events = []
+    for i, value in enumerate(values):
+        events.extend(engine.observe(window(i, **{metric: value})))
+    return events
+
+
+class TestRuleSpec:
+    def test_full_grammar(self):
+        rule = AlertRule.from_spec("phi[interarrival]>0.05@3~0.02@2")
+        assert rule.metric == "phi[interarrival]"
+        assert rule.op == ">"
+        assert rule.threshold == 0.05
+        assert rule.consecutive == 3
+        assert rule.clear_threshold == 0.02
+        assert rule.clear_consecutive == 2
+        assert rule.label == "phi[interarrival]>0.05@3"
+
+    def test_minimal_spec_defaults(self):
+        rule = AlertRule.from_spec("chi2_p[packet-size]<0.01")
+        assert rule.op == "<"
+        assert rule.consecutive == 1
+        assert rule.clear_threshold is None
+        assert rule.clear_consecutive == 1
+
+    def test_whitespace_tolerated(self):
+        rule = AlertRule.from_spec("  cost[packet-size] > 1e-2 @ 2 ~ 5e-3 ")
+        assert rule.threshold == 0.01
+        assert rule.clear_threshold == 0.005
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "phi[interarrival]",  # no comparison
+            "phi>=0.05",  # unsupported operator
+            "phi>abc",  # not a number
+            "phi>0.05@0",  # zero consecutive windows
+            "phi>0.05~0.10",  # clear above trigger for >
+            "p<0.01~0.001",  # clear below trigger for <
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            AlertRule.from_spec(spec)
+
+    def test_breached_and_cleared_directions(self):
+        above = AlertRule.from_spec("m>1.0~0.5")
+        assert above.breached(1.5) and not above.breached(1.0)
+        assert above.cleared(0.5) and not above.cleared(0.7)
+        below = AlertRule.from_spec("m<0.1~0.2")
+        assert below.breached(0.05) and not below.breached(0.1)
+        assert below.cleared(0.2) and not below.cleared(0.15)
+
+
+class TestAlertEngine:
+    def test_raises_only_after_consecutive_breaches(self):
+        engine = AlertEngine([AlertRule.from_spec("phi>0.5@3")])
+        events = feed(engine, "phi", [0.6, 0.6, 0.4, 0.6, 0.6, 0.6])
+        assert [e.kind for e in events] == ["alert_raised"]
+        assert events[0].window == 5  # streak reset by the dip at window 2
+        assert events[0].consecutive == 3
+        assert engine.active == ("phi>0.5@3",)
+        assert engine.raised_total == 1
+
+    def test_no_realert_while_active(self):
+        engine = AlertEngine([AlertRule.from_spec("phi>0.5")])
+        events = feed(engine, "phi", [0.6, 0.7, 0.8])
+        assert len(events) == 1
+
+    def test_hysteresis_band(self):
+        """Between clear and trigger the alert holds without flapping."""
+        engine = AlertEngine([AlertRule.from_spec("phi>0.5~0.2")])
+        events = feed(engine, "phi", [0.6, 0.4, 0.3, 0.25, 0.2, 0.6])
+        kinds = [e.kind for e in events]
+        assert kinds == ["alert_raised", "alert_cleared", "alert_raised"]
+        assert events[1].window == 4  # cleared only at <= 0.2, not at 0.4
+        assert engine.cleared_total == 1
+
+    def test_clear_requires_consecutive_windows(self):
+        engine = AlertEngine([AlertRule.from_spec("phi>0.5~0.2@2")])
+        events = feed(engine, "phi", [0.6, 0.1, 0.4, 0.1, 0.1])
+        assert [e.kind for e in events] == ["alert_raised", "alert_cleared"]
+        assert events[1].window == 4  # the lone dip at window 1 did not clear
+
+    def test_none_windows_are_neutral(self):
+        """Unscored windows neither extend nor reset a streak."""
+        engine = AlertEngine([AlertRule.from_spec("phi>0.5@2")])
+        events = feed(engine, "phi", [0.6, None, 0.6])
+        assert [e.kind for e in events] == ["alert_raised"]
+        assert events[0].window == 2
+
+    def test_independent_rules(self):
+        engine = AlertEngine(
+            [AlertRule.from_spec("phi>0.5"), AlertRule.from_spec("p<0.01")]
+        )
+        events = engine.observe(window(0, phi=0.6, p=0.005))
+        assert sorted(e.rule for e in events) == ["p<0.01@1", "phi>0.5@1"]
+        assert len(engine.active) == 2
+
+    def test_duplicate_rule_labels_raise(self):
+        rule = AlertRule.from_spec("phi>0.5")
+        with pytest.raises(ValueError, match="duplicate"):
+            AlertEngine([rule, AlertRule.from_spec("phi > 0.5")])
+
+    def test_negative_heartbeat_raises(self):
+        with pytest.raises(ValueError):
+            AlertEngine([], heartbeat_every=-1)
+
+
+class TestEventEmission:
+    def test_alert_events_round_trip_through_events_jsonl(self, tmp_path):
+        obs = Instrumentation()
+        engine = AlertEngine([AlertRule.from_spec("phi>0.5@2~0.1")], obs=obs)
+        feed(engine, "phi", [0.6, 0.7, 0.05])
+
+        path = str(tmp_path / "events.jsonl")
+        write_events(path, obs.events)
+        events = read_events(path)
+        kinds = [e.kind for e in events]
+        assert kinds == ["alert_raised", "alert_cleared"]
+        assert all(entry["v"] == SCHEMA_VERSION for entry in obs.events)
+        raised = events[0]
+        assert raised.get("rule") == "phi>0.5@2"
+        assert raised.get("metric") == "phi"
+        assert raised.get("value") == 0.7
+        assert raised.get("threshold") == 0.5
+        assert raised.get("window") == 1
+        assert raised.get("consecutive") == 2
+        assert obs.counter("monitor_alerts_raised").value == 1
+        assert obs.counter("monitor_alerts_cleared").value == 1
+
+    def test_heartbeat_cadence(self):
+        obs = Instrumentation()
+        engine = AlertEngine([], obs=obs, heartbeat_every=3)
+        for i in range(7):
+            engine.observe(window(i))
+        beats = [e for e in obs.events if e["kind"] == "heartbeat"]
+        assert [b["window"] for b in beats] == [2, 5]
+        assert beats[0]["offered"] == 100
+        assert beats[0]["active_alerts"] == 0
+
+    def test_no_heartbeat_by_default(self):
+        obs = Instrumentation()
+        engine = AlertEngine([], obs=obs)
+        for i in range(10):
+            engine.observe(window(i))
+        assert obs.events == []

@@ -1,0 +1,98 @@
+"""OpenMetrics rendering, atomic textfile export, and the /metrics port."""
+
+import os
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.live import (
+    CONTENT_TYPE,
+    LiveMetricsStore,
+    MetricsServer,
+    TextfileExporter,
+    render_live_metrics,
+)
+
+
+def populated_store():
+    store = LiveMetricsStore()
+    store.counter("monitor_windows_closed").inc(3)
+    store.gauge("monitor_phi_packet_size").set(0.04)
+    hist = store.histogram("packet_size_parent", (41.0, 181.0))
+    hist.update_many([30.0, 100.0, 100.0, 500.0])
+    return store
+
+
+class TestRendering:
+    def test_counter_gauge_and_histogram_families(self):
+        text = render_live_metrics(populated_store())
+        lines = text.splitlines()
+        assert "repro_monitor_windows_closed_total 3" in lines
+        assert "repro_monitor_phi_packet_size 0.04" in lines
+        # Histogram buckets are cumulative with a +Inf catch-all.
+        assert 'repro_packet_size_parent_bucket{le="41"} 1' in lines
+        assert 'repro_packet_size_parent_bucket{le="181"} 3' in lines
+        assert 'repro_packet_size_parent_bucket{le="+Inf"} 4' in lines
+        assert "repro_packet_size_parent_count 4" in lines
+        assert "# TYPE repro_packet_size_parent histogram" in lines
+        assert text.endswith("\n")
+
+    def test_empty_store_renders_empty(self):
+        assert render_live_metrics(LiveMetricsStore()) == ""
+
+    def test_fractional_edges_keep_precision(self):
+        store = LiveMetricsStore()
+        store.histogram("h", (0.5,)).update(0.1)
+        assert 'repro_h_bucket{le="0.5"} 1' in render_live_metrics(store)
+
+
+class TestTextfileExporter:
+    def test_export_writes_snapshot_atomically(self, tmp_path):
+        path = tmp_path / "scrape" / "monitor.prom"
+        exporter = TextfileExporter(str(path))
+        store = populated_store()
+        assert exporter.export(store) == str(path)
+        exporter.export(store)
+        assert exporter.writes == 2
+        content = path.read_text()
+        assert content == render_live_metrics(store)
+        # No temp file is left behind after the rename.
+        assert os.listdir(path.parent) == ["monitor.prom"]
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            TextfileExporter("")
+
+
+class TestMetricsServer:
+    def test_serves_the_live_render(self):
+        store = populated_store()
+        with MetricsServer(lambda: render_live_metrics(store), port=0) as server:
+            assert server.url == "http://127.0.0.1:%d/metrics" % server.port
+            with urllib.request.urlopen(server.url) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == CONTENT_TYPE
+                body = response.read().decode("utf-8")
+            assert "repro_monitor_windows_closed_total 3" in body
+            # The render callback is re-run per scrape, not cached.
+            store.counter("monitor_windows_closed").inc()
+            with urllib.request.urlopen(server.url) as response:
+                assert "monitor_windows_closed_total 4" in response.read().decode()
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(lambda: "", port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    "http://127.0.0.1:%d/debug" % server.port
+                )
+            assert excinfo.value.code == 404
+
+    def test_close_releases_the_port(self):
+        server = MetricsServer(lambda: "", port=0)
+        port = server.port
+        server.close()
+        # The port is free again: a new server can bind it immediately.
+        rebound = MetricsServer(lambda: "", port=port)
+        assert rebound.port == port
+        rebound.close()

@@ -199,3 +199,75 @@ class TestRunningHistogram:
             RunningHistogram(())
         with pytest.raises(ValueError):
             RunningHistogram((5.0, 5.0))
+
+    def test_merge_requires_same_edge_count(self):
+        """A prefix match is not enough: edge vectors must be identical."""
+        a = RunningHistogram((10.0, 20.0))
+        b = RunningHistogram((10.0,))
+        with pytest.raises(ValueError, match="different edges"):
+            a.merge(b)
+        with pytest.raises(ValueError, match="different edges"):
+            b.merge(a)
+
+
+class TestStreamEdgeCases:
+    """Satellite regressions: the corners batch comparisons skip."""
+
+    @pytest.mark.parametrize("quantile", [0.1, 0.5, 0.9])
+    @pytest.mark.parametrize("count", [1, 2, 3, 4])
+    def test_p2_under_five_observations_is_an_exact_order_statistic(
+        self, rng, quantile, count
+    ):
+        """Before the five P² markers exist the estimate must be exact."""
+        data = list(rng.normal(size=count) * 100)
+        estimator = P2Quantile(quantile)
+        estimator.update_many(data)
+        ordered = sorted(data)
+        index = min(int(np.ceil(quantile * count)) - 1, count - 1)
+        assert estimator.value == ordered[max(index, 0)]
+        assert estimator.count == count
+
+    def test_p2_transition_to_marker_mode_at_five(self):
+        estimator = P2Quantile(0.5)
+        estimator.update_many([5.0, 1.0, 4.0, 2.0])
+        assert estimator.value == 2.0  # still exact
+        estimator.update(3.0)
+        assert estimator.value == 3.0  # five sorted markers: true median
+
+    def test_running_stats_merge_matches_describe_at_adversarial_magnitudes(
+        self, rng
+    ):
+        """Merged shards must agree with a two-pass pass over the union.
+
+        The stream mixes a huge common offset with variation ten orders
+        of magnitude smaller — the regime where naive moment pushing
+        loses every significant digit.
+        """
+        left = rng.normal(size=4000) * 1e-3 + 1e6
+        right = rng.normal(size=5000) * 1e-3 + 1e6
+        data = np.concatenate([left, right])
+        # The regime is genuinely adversarial: the naive one-pass
+        # variance is annihilated by cancellation here.
+        naive = (data**2).mean() - data.mean() ** 2
+        assert naive <= 0.0
+        a, b = RunningStats(), RunningStats()
+        a.update_many(left)
+        b.update_many(right)
+        merged = a.merge(b)
+        d = describe(data)
+        assert merged.count == d.count
+        assert merged.mean == pytest.approx(d.mean, rel=1e-12)
+        assert merged.std == pytest.approx(d.std, rel=1e-6)
+        assert merged.skewness == pytest.approx(d.skewness, abs=1e-4)
+        assert merged.kurtosis == pytest.approx(d.kurtosis, rel=1e-6)
+        assert merged.minimum == d.minimum
+        assert merged.maximum == d.maximum
+
+    def test_running_stats_merge_order_invariant(self, rng):
+        data = rng.exponential(size=1000)
+        a, b = RunningStats(), RunningStats()
+        a.update_many(data[:300])
+        b.update_many(data[300:])
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.mean == pytest.approx(ba.mean, rel=1e-13)
+        assert ab.std == pytest.approx(ba.std, rel=1e-12)

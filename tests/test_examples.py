@@ -41,7 +41,10 @@ def run_example(name: str) -> str:
         ),
         ("port_monitoring", ["Wilson interval", "yes"]),
         ("daily_pattern", ["busy hour (13:00-14:00)", "size phi"]),
-        ("streaming_monitor", ["top-5 traffic pairs", "monitor state"]),
+        (
+            "streaming_monitor",
+            ["ALERT raised", "healthy — no alerts", "OpenMetrics exposition"],
+        ),
     ],
 )
 def test_example_runs(name, expectations):

@@ -1,0 +1,57 @@
+"""No build artifacts or caches may be tracked by git.
+
+Mirrors the CI guard: a tracked ``__pycache__`` directory or ``.pyc``
+file silently goes stale and shadows real sources on some imports.
+"""
+
+import os
+import subprocess
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+FORBIDDEN_FRAGMENTS = (
+    "__pycache__/",
+    ".pytest_cache/",
+    ".mypy_cache/",
+    ".ruff_cache/",
+    ".hypothesis/",
+)
+FORBIDDEN_SUFFIXES = (".pyc", ".pyo", ".pyd")
+
+
+def tracked_files():
+    try:
+        output = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        pytest.skip("git unavailable")
+    if output.returncode != 0:
+        pytest.skip("not a git checkout")
+    return output.stdout.splitlines()
+
+
+def test_no_cache_files_tracked():
+    offenders = [
+        path
+        for path in tracked_files()
+        if path.endswith(FORBIDDEN_SUFFIXES)
+        or any(fragment in path for fragment in FORBIDDEN_FRAGMENTS)
+    ]
+    assert offenders == [], (
+        "cache/bytecode files are tracked by git (git rm --cached them): %r"
+        % offenders[:10]
+    )
+
+
+def test_gitignore_covers_python_caches():
+    with open(os.path.join(REPO_ROOT, ".gitignore")) as stream:
+        rules = stream.read()
+    for rule in ("__pycache__/", "*.py[cod]", ".pytest_cache/"):
+        assert rule in rules
