@@ -1,0 +1,93 @@
+"""Flow-size inversion benchmark: aggregation plus the EM solve.
+
+Times the full flow-inversion pipeline on a half-hour window of the
+calibrated hour — the three stages a ``flows compare`` run pays:
+
+* ``aggregate`` — parent + sampled flow aggregation through the flow
+  table (the streaming O(packets) part);
+* ``em_invert`` — the binned EM/MLE inversion of the sampled
+  flow-size distribution (the numerical part);
+* ``score`` — naive + EM estimates scored against ground truth with
+  the repo's disparity metrics.
+
+Also asserts the subsystem's acceptance property en passant: the EM
+inversion must beat the naive rescaling on phi.  The record lands in
+``bench_flows_inversion.json`` for the CI regression gate.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.sampling.factory import make_sampler
+from repro.flows.inversion import em_invert, naive_estimate, score_estimate
+from repro.flows.sampled import parent_flows, sampled_flows
+
+GRANULARITY = 100
+ROUNDS = 3
+SEED = 7
+
+
+def _best_of(rounds, fn):
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_flows_inversion(half_hour_window, emit):
+    window = half_hour_window
+    sampler = make_sampler("systematic", GRANULARITY)
+    result = sampler.sample(window, rng=np.random.default_rng(SEED))
+
+    walls = {}
+    walls["aggregate"] = _best_of(
+        ROUNDS,
+        lambda: (parent_flows(window), sampled_flows(window, result)),
+    )
+    parent = parent_flows(window)
+    sampled = sampled_flows(window, result)
+    parent_sizes = parent.sizes()
+    sampled_sizes = sampled.sizes()
+
+    walls["em_invert"] = _best_of(
+        ROUNDS, lambda: em_invert(sampled_sizes, GRANULARITY)
+    )
+    em = em_invert(sampled_sizes, GRANULARITY)
+    naive = naive_estimate(sampled_sizes, GRANULARITY)
+
+    walls["score"] = _best_of(
+        ROUNDS,
+        lambda: (
+            score_estimate(naive, parent_sizes),
+            score_estimate(em, parent_sizes),
+        ),
+    )
+    em_score = score_estimate(em, parent_sizes)
+    naive_score = score_estimate(naive, parent_sizes)
+    assert em_score.phi < naive_score.phi
+    assert em_score.l1_cost < naive_score.l1_cost
+
+    record = {
+        "benchmark": "flows_inversion",
+        "packets": len(window),
+        "granularity": GRANULARITY,
+        "rounds": ROUNDS,
+        "parent_flows": len(parent),
+        "sampled_flows": len(sampled),
+        "phi_naive": round(naive_score.phi, 4),
+        "phi_em": round(em_score.phi, 4),
+        "cpu_count": os.cpu_count(),
+        "wall_s": {name: round(wall, 4) for name, wall in walls.items()},
+    }
+    out_path = os.path.join(
+        os.path.dirname(__file__), "bench_flows_inversion.json"
+    )
+    with open(out_path, "w") as stream:
+        json.dump(record, stream, indent=2)
+        stream.write("\n")
+    emit("flows inversion: %s" % json.dumps(record, indent=2))

@@ -1,0 +1,93 @@
+"""Flow-accounting overhead benchmark: the per-packet cache path.
+
+The flow table's contract is that accounting is affordable beside the
+selection loop and the disabled path is near-free — the same shape as
+the live monitor's overhead gate.  Three variants of one 1-in-50
+streaming selection pass over a fixed slice of the calibrated hour:
+
+* ``offer_only`` — the bare sampler, no accounting;
+* ``null_accountant`` — the loop as instrumented code ships it, with
+  the shared :data:`~repro.flows.sampled.NULL_ACCOUNTANT`;
+* ``enabled_accountant`` — a real
+  :class:`~repro.flows.sampled.StreamFlowAccountant` maintaining both
+  parent and sampled flow tables and exporting cache gauges.
+
+Each is the best of a few rounds (min-of-N); the record lands in
+``bench_flows_overhead.json`` for the CI regression gate.
+"""
+
+import json
+import os
+import time
+
+from repro.core.sampling.streaming import StreamingSystematic
+from repro.flows.sampled import NULL_ACCOUNTANT, StreamFlowAccountant
+from repro.flows.table import iter_flow_keys
+
+GRANULARITY = 50
+PACKETS = 100_000
+ROUNDS = 3
+
+
+def _best_of(rounds, fn):
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_flows_overhead(hour_trace, emit):
+    window = hour_trace.slice_packets(0, PACKETS)
+    packets = list(iter_flow_keys(window))
+    assert len(packets) == PACKETS
+
+    def offer_only():
+        sampler = StreamingSystematic(GRANULARITY)
+        kept = 0
+        for ts, _size, _key in packets:
+            kept += sampler.offer(ts)
+        return kept
+
+    def accounted(accountant):
+        sampler = StreamingSystematic(GRANULARITY)
+        for ts, size, key in packets:
+            accountant.observe(ts, size, key, sampler.offer(ts))
+        accountant.flush()
+
+    walls = {}
+    walls["offer_only"] = _best_of(ROUNDS, offer_only)
+    walls["null_accountant"] = _best_of(
+        ROUNDS, lambda: accounted(NULL_ACCOUNTANT)
+    )
+
+    # Sanity: the enabled accountant actually exports flows and gauges.
+    check = StreamFlowAccountant()
+    accounted(check)
+    assert len(check.parent()) > 0
+    assert len(check.sampled()) > 0
+    assert (
+        check.store.counter("flow_cache_exported_parent").value
+        == float(len(check.parent()))
+    )
+
+    walls["enabled_accountant"] = _best_of(
+        ROUNDS, lambda: accounted(StreamFlowAccountant())
+    )
+
+    record = {
+        "benchmark": "flows_overhead",
+        "packets": PACKETS,
+        "granularity": GRANULARITY,
+        "rounds": ROUNDS,
+        "cpu_count": os.cpu_count(),
+        "wall_s": {name: round(wall, 4) for name, wall in walls.items()},
+    }
+    out_path = os.path.join(
+        os.path.dirname(__file__), "bench_flows_overhead.json"
+    )
+    with open(out_path, "w") as stream:
+        json.dump(record, stream, indent=2)
+        stream.write("\n")
+    emit("flows overhead: %s" % json.dumps(record, indent=2))

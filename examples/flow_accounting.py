@@ -1,0 +1,86 @@
+"""Flow accounting: what 1-in-N packet sampling does to flows — and
+how to undo it.
+
+Generates ten minutes of calibrated NSFNET-entrance traffic, aggregates
+it into NetFlow-style flows, thins it with the operational 1-in-100
+systematic sampler, and shows the two faces of flow-level sampling:
+
+* the *distortion* — most flows vanish entirely and the survivors
+  shrink ~100-fold;
+* the *inversion* — a binned EM estimator recovers the parent
+  flow-size distribution far better than naively multiplying
+  everything by 100.
+
+Run:  python examples/flow_accounting.py
+"""
+
+import numpy as np
+
+from repro.core.sampling.factory import make_sampler
+from repro.flows.inversion import compare_estimators, em_invert
+from repro.flows.sampled import flow_study
+
+GRANULARITY = 100
+
+
+def main() -> None:
+    from repro.workload.generator import nsfnet_hour_trace
+
+    print("generating ten minutes of synthetic NSFNET-entrance traffic...")
+    trace = nsfnet_hour_trace(seed=42, duration_s=600)
+
+    sampler = make_sampler("systematic", granularity=GRANULARITY)
+    study = flow_study(trace, sampler, rng=np.random.default_rng(0))
+
+    print(
+        "\nflow accounting under 1-in-%d sampling (%d packets):"
+        % (GRANULARITY, len(trace))
+    )
+    print(
+        "  parent:  %6d flows, mean %7.2f packets/flow"
+        % (len(study.parent), study.parent.mean_size())
+    )
+    print(
+        "  sampled: %6d flows, mean %7.2f packets/flow"
+        % (len(study.sampled), study.sampled.mean_size())
+    )
+    print(
+        "  only %.1f%% of parent flows were seen at all — small flows "
+        "vanish almost surely" % (100 * study.detected_fraction)
+    )
+
+    parent_sizes = study.parent.sizes()
+    sampled_sizes = study.sampled.sizes()
+    scores = compare_estimators(parent_sizes, sampled_sizes, GRANULARITY)
+    estimate = em_invert(sampled_sizes, GRANULARITY)
+
+    print("\nrecovering the parent flow-size distribution:")
+    print(
+        "  naive x%d rescaling:  phi = %7.4f   l1 cost = %10.1f"
+        % (GRANULARITY, scores["naive"].phi, scores["naive"].l1_cost)
+    )
+    print(
+        "  binned EM inversion:  phi = %7.4f   l1 cost = %10.1f"
+        % (scores["em"].phi, scores["em"].l1_cost)
+    )
+    print(
+        "  EM estimates %.0f parent flows (truth: %d) at mean %.2f "
+        "packets/flow (truth: %.2f)"
+        % (
+            estimate.total_flows,
+            len(study.parent),
+            estimate.mean_size(),
+            study.parent.mean_size(),
+        )
+    )
+
+    assert scores["em"].phi < scores["naive"].phi
+    print(
+        "\nthe EM inversion beats the naive rescaling because it models "
+        "both distortions at once: binomial shrinkage of every flow and "
+        "the zero-truncation that hides small flows entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
 """Command-line front end.
 
-Eleven subcommands cover the everyday workflow:
+The subcommands (one bullet each, kept in lockstep with the parser by
+``tests/test_cli.py``) cover the everyday workflow:
 
 * ``generate`` — synthesize a calibrated trace and write it as pcap;
 * ``describe`` — print Table 2/3-style summary statistics of a trace;
@@ -17,6 +18,11 @@ Eleven subcommands cover the everyday workflow:
   size/interarrival (Section 5.1);
 * ``netmon`` — run a trace through a simulated collection node and
   report SNMP-vs-collector agreement (Section 2 / Figure 1);
+* ``flows`` — flow-level analysis (:mod:`repro.flows`): aggregate a
+  trace into NetFlow-style flow records, sample it and compare parent
+  vs. sampled flow populations, invert 1-in-N sampled flows back to
+  an estimated parent flow-size distribution, or score the estimators
+  against ground truth; ``--csv`` saves the mode's table;
 * ``reproduce`` — the paper's whole analysis on a trace of your own;
 * ``fidelity`` — windowed phi of one sampling pass (drift detection);
 * ``report`` — summarize a finished run directory's observability
@@ -534,6 +540,228 @@ def _cmd_netmon(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flow_table_from_args(args: argparse.Namespace):
+    """A :class:`~repro.flows.table.FlowTable` from the flow flags."""
+    from repro.flows.table import FlowTable
+
+    return FlowTable(
+        idle_timeout_us=int(args.idle_timeout * 1e6),
+        active_timeout_us=int(args.active_timeout * 1e6),
+        max_flows=args.max_flows,
+    )
+
+
+def _write_csv(path: str, header: List[str], rows: List[List[object]]) -> None:
+    import csv
+
+    with open(path, "w", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(header)
+        writer.writerows(rows)
+    print("saved %d rows to %s" % (len(rows), path))
+
+
+def _flows_study(args: argparse.Namespace, trace):
+    """Draw one sample and build the parent/sampled flow populations."""
+    from repro.flows.sampled import flow_study
+
+    rng = np.random.default_rng(args.seed)
+    sampler = make_sampler(args.method, args.granularity, trace=trace, rng=rng)
+    return flow_study(trace, sampler, rng=rng)
+
+
+def _cmd_flows(args: argparse.Namespace) -> int:
+    trace = _load_trace_or_fail(args.trace)
+    if trace is None:
+        return 2
+    if args.granularity < 1:
+        return _fail("granularity must be >= 1, got %d" % args.granularity)
+    if args.mode in ("invert", "compare") and args.granularity < 2:
+        return _fail(
+            "mode %r inverts 1-in-N sampling and needs --granularity >= 2"
+            % args.mode
+        )
+
+    if args.mode == "aggregate":
+        from repro.flows.sampled import FlowSet
+        from repro.flows.table import aggregate_trace
+
+        table = _flow_table_from_args(args)
+        records = aggregate_trace(trace, table=table)
+        flows = FlowSet(records=tuple(records))
+        stats = table.stats()
+        print(
+            "%d packets -> %d flow records (%d distinct 5-tuples)"
+            % (len(trace), len(records), len(flows.keys()))
+        )
+        print(
+            "  mean %.2f packets/flow, peak cache occupancy %d, "
+            "evictions %d"
+            % (
+                flows.mean_size(),
+                stats["peak_occupancy"],
+                stats["exported_evicted"],
+            )
+        )
+        for reason in ("idle", "active", "evicted", "flush"):
+            print("  exported (%s): %d" % (reason, stats["exported_" + reason]))
+        if args.csv:
+            _write_csv(
+                args.csv,
+                [
+                    "src_net", "dst_net", "src_port", "dst_port",
+                    "protocol", "packets", "bytes", "first_us",
+                    "last_us", "reason",
+                ],
+                [
+                    [
+                        r.src_net, r.dst_net, r.src_port, r.dst_port,
+                        r.protocol, r.packets, r.bytes, r.first_us,
+                        r.last_us, r.reason,
+                    ]
+                    for r in records
+                ],
+            )
+        return 0
+
+    study = _flows_study(args, trace)
+    if args.mode == "sample":
+        summary = study.summary()
+        print(
+            "%s 1/%d over %d packets:"
+            % (args.method, args.granularity, len(trace))
+        )
+        print(
+            "  parent:  %6d flows, mean %8.2f packets/flow"
+            % (len(study.parent), study.parent.mean_size())
+        )
+        print(
+            "  sampled: %6d flows, mean %8.2f packets/flow"
+            % (len(study.sampled), study.sampled.mean_size())
+        )
+        print(
+            "  detected fraction: %.4f (share of parent 5-tuples seen)"
+            % summary["detected_fraction"]
+        )
+        if args.csv:
+            _write_csv(
+                args.csv,
+                ["population", "metric", "value"],
+                [
+                    ["parent", "flows", len(study.parent)],
+                    ["parent", "mean_packets", study.parent.mean_size()],
+                    ["parent", "total_packets", study.parent.total_packets],
+                    ["sampled", "flows", len(study.sampled)],
+                    ["sampled", "mean_packets", study.sampled.mean_size()],
+                    ["sampled", "total_packets", study.sampled.total_packets],
+                    ["sampled", "detected_fraction",
+                     summary["detected_fraction"]],
+                ],
+            )
+        return 0
+
+    sampled_sizes = study.sampled.sizes()
+    if sampled_sizes.size == 0:
+        return _fail(
+            "the sample contains no flows; lower --granularity or use a "
+            "longer trace"
+        )
+
+    if args.mode == "invert":
+        from repro.flows.inversion import (
+            chabchoub_estimate,
+            em_invert,
+            naive_estimate,
+        )
+
+        estimates = [
+            naive_estimate(sampled_sizes, args.granularity),
+            em_invert(sampled_sizes, args.granularity),
+        ]
+        print(
+            "inverting %d sampled flows (1/%d %s) — parent truth: %d flows"
+            % (
+                len(study.sampled),
+                args.granularity,
+                args.method,
+                len(study.parent),
+            )
+        )
+        for estimate in estimates:
+            print(
+                "  %-10s %10.0f flows, mean %8.2f packets/flow"
+                % (estimate.method, estimate.total_flows, estimate.mean_size())
+            )
+        try:
+            rescaling = chabchoub_estimate(sampled_sizes, args.granularity)
+            estimates.append(rescaling.estimate)
+            print(
+                "  %-10s tail exponent %.3f above %d packets "
+                "(%.0f tail flows)"
+                % (
+                    rescaling.estimate.method,
+                    rescaling.fit.exponent,
+                    rescaling.threshold_size,
+                    rescaling.estimate.total_flows,
+                )
+            )
+        except ValueError as error:
+            print("  chabchoub-tail: skipped (%s)" % error)
+        if args.csv:
+            _write_csv(
+                args.csv,
+                ["estimator", "flow_size_packets", "estimated_flows"],
+                [
+                    [e.method, int(size), float(count)]
+                    for e in estimates
+                    for size, count in zip(
+                        e.sizes.tolist(), e.counts.tolist()
+                    )
+                ],
+            )
+        return 0
+
+    # compare: score naive vs EM against ground truth.
+    from repro.flows.inversion import compare_estimators
+
+    try:
+        scores = compare_estimators(
+            study.parent.sizes(), sampled_sizes, args.granularity
+        )
+    except ValueError as error:
+        return _fail(str(error))
+    print(
+        "estimator disparity vs. ground truth (%d parent flows, "
+        "%s 1/%d):" % (len(study.parent), args.method, args.granularity)
+    )
+    print(
+        "  %-10s %10s %12s %14s"
+        % ("estimator", "phi", "l1 cost", "significance")
+    )
+    for name in ("naive", "em"):
+        score = scores[name]
+        print(
+            "  %-10s %10.4f %12.1f %14.4g"
+            % (name, score.phi, score.l1_cost, score.chi2_significance)
+        )
+    better = scores["em"].phi < scores["naive"].phi
+    print(
+        "  EM inversion %s the naive rescaling on phi"
+        % ("beats" if better else "does NOT beat")
+    )
+    if args.csv:
+        _write_csv(
+            args.csv,
+            ["estimator", "phi", "l1_cost", "chi2_significance"],
+            [
+                [name, scores[name].phi, scores[name].l1_cost,
+                 scores[name].chi2_significance]
+                for name in ("naive", "em")
+            ],
+        )
+    return 0
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     """Execution-engine controls shared by sweep-running subcommands."""
     parser.add_argument(
@@ -692,6 +920,51 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=0)
     _add_engine_flags(rep)
     rep.set_defaults(func=_cmd_reproduce)
+
+    flw = sub.add_parser(
+        "flows",
+        help="flow-level analysis: aggregate, sample, invert, compare",
+    )
+    flw.add_argument("trace", help="pcap path or 'synthetic'")
+    flw.add_argument(
+        "mode",
+        choices=("aggregate", "sample", "invert", "compare"),
+        help="aggregate: trace -> flow records; sample: parent vs "
+        "sampled flow populations; invert: estimate the parent "
+        "flow-size distribution from the sampled flows; compare: "
+        "score naive vs EM inversion against ground truth",
+    )
+    flw.add_argument("--method", choices=METHOD_NAMES, default="systematic")
+    flw.add_argument(
+        "--granularity",
+        type=int,
+        default=100,
+        help="1-in-N packet sampling before flow accounting",
+    )
+    flw.add_argument("--seed", type=int, default=0)
+    flw.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="flow-cache idle timeout (default 15, the NetFlow default)",
+    )
+    flw.add_argument(
+        "--active-timeout",
+        type=float,
+        default=1800.0,
+        metavar="SECONDS",
+        help="flow-cache active timeout (default 1800)",
+    )
+    flw.add_argument(
+        "--max-flows",
+        type=int,
+        default=65536,
+        help="flow-cache capacity; beyond it the least recently "
+        "updated flow is evicted",
+    )
+    flw.add_argument("--csv", default="", help="save the mode's table as CSV")
+    flw.set_defaults(func=_cmd_flows)
 
     fid = sub.add_parser(
         "fidelity", help="windowed phi of one sampling pass over a trace"

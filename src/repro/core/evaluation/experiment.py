@@ -122,6 +122,13 @@ class ExperimentGrid:
         execution order and identical at any worker count.
     score_against:
         ``"interval"`` or ``"full"`` (see module docstring).
+    flow_stats:
+        When true, every shard additionally aggregates its window and
+        its drawn sample into flows (:mod:`repro.flows`) and reports a
+        flow-level summary (parent/sampled flow counts, detected
+        fraction, mean sizes) that rides the result tuple into the run
+        manifest.  Purely observational: the scored records are
+        bit-identical with it on or off.
     """
 
     methods: Sequence[str] = METHOD_NAMES
@@ -131,6 +138,7 @@ class ExperimentGrid:
     seed: int = 0
     score_against: str = "interval"
     targets: Sequence[CharacterizationTarget] = field(default=PAPER_TARGETS)
+    flow_stats: bool = False
 
     def __post_init__(self) -> None:
         unknown = set(self.methods) - set(METHOD_NAMES)

@@ -356,6 +356,7 @@ class _Execution:
         wall_s: float,
         phases: Optional[Dict[str, float]] = None,
         maxrss_kb: int = 0,
+        flows: Optional[Dict[str, float]] = None,
     ) -> None:
         """Journal-then-account for one freshly executed shard."""
         if self.journal is not None:
@@ -385,6 +386,7 @@ class _Execution:
                 cached=False,
                 phases=dict(phases or {}),
                 maxrss_kb=maxrss_kb,
+                flows=dict(flows) if flows is not None else None,
             )
         )
         self.report(shard.key)
@@ -417,13 +419,14 @@ class _Execution:
         records: List[ExperimentRecord],
         packets: int,
         digest: str,
+        flows: Optional[Dict[str, float]] = None,
     ) -> None:
         """Integrity-check a received result; raises on any mismatch."""
         if index != shard.index or key != shard.key:
             raise ShardCorruptionError(
                 "result for shard %s arrived labeled %s" % (shard.key, key)
             )
-        if records_digest(packets, records) != digest:
+        if records_digest(packets, records, flows) != digest:
             raise ShardCorruptionError(
                 "result for shard %s failed its integrity digest" % shard.key
             )
@@ -470,7 +473,7 @@ class _Execution:
             phases: Dict[str, float] = {}
             started = time.perf_counter()
             try:
-                records, packets, digest = execute_shard_with_faults(
+                records, packets, flows, digest = execute_shard_with_faults(
                     context,
                     shard,
                     attempt,
@@ -479,7 +482,13 @@ class _Execution:
                     phases=phases,
                 )
                 self.verify(
-                    shard, shard.index, shard.key, records, packets, digest
+                    shard,
+                    shard.index,
+                    shard.key,
+                    records,
+                    packets,
+                    digest,
+                    flows=flows,
                 )
             except Exception as exc:
                 if not self.register_failure(shard, exc):
@@ -495,6 +504,7 @@ class _Execution:
                 wall_s,
                 phases=phases,
                 maxrss_kb=peak_rss_kb(),
+                flows=flows,
             )
             return
 
@@ -638,13 +648,22 @@ class _Execution:
                             key,
                             records,
                             packets,
+                            flows,
                             pid,
                             wall_s,
                             digest,
                             phases,
                             maxrss_kb,
                         ) = future.result()
-                        self.verify(shard, index, key, records, packets, digest)
+                        self.verify(
+                            shard,
+                            index,
+                            key,
+                            records,
+                            packets,
+                            digest,
+                            flows=flows,
+                        )
                     except BrokenExecutor:
                         # Every in-flight future is dead with the pool;
                         # put this one back so recovery sees them all.
@@ -669,6 +688,7 @@ class _Execution:
                         wall_s,
                         phases=phases,
                         maxrss_kb=maxrss_kb,
+                        flows=flows,
                     )
                 if pool_broke:
                     if not recover("worker process died"):

@@ -56,11 +56,15 @@ class ShardTiming:
     wall_s: float
     packets: int  # window size the shard sampled from
     cached: bool  # replayed from a checkpoint, not executed
-    #: Per-phase busy seconds (window/sample/score), reported by the
-    #: executing process alongside the result.
+    #: Per-phase busy seconds (window/sample/score/flows), reported by
+    #: the executing process alongside the result.
     phases: Dict[str, float] = field(default_factory=dict)
     #: Peak RSS of the executing process in KiB (0 when unknown).
     maxrss_kb: int = 0
+    #: Flow-level summary of the shard (parent/sampled flow counts,
+    #: detected fraction, mean sizes) when the grid enabled
+    #: ``flow_stats``; ``None`` otherwise.
+    flows: Optional[Dict[str, float]] = None
 
     @property
     def packets_per_s(self) -> float:
@@ -185,23 +189,32 @@ class RunTelemetry:
                 for phase, seconds in sorted(phase_totals.items())
             },
             "shards": [
-                {
-                    "key": t.key,
-                    "worker": t.worker,
-                    "wall_s": round(t.wall_s, 6),
-                    "packets": t.packets,
-                    "packets_per_s": round(t.packets_per_s, 3),
-                    "cached": t.cached,
-                    "phases": {
-                        phase: round(seconds, 6)
-                        for phase, seconds in sorted(t.phases.items())
-                    },
-                    "maxrss_kb": t.maxrss_kb,
-                }
-                for t in self.timings
+                self._shard_entry(t) for t in self.timings
             ],
         })
         return payload
+
+    @staticmethod
+    def _shard_entry(t: ShardTiming) -> dict:
+        """One shard's manifest entry (flow summary only when present)."""
+        entry = {
+            "key": t.key,
+            "worker": t.worker,
+            "wall_s": round(t.wall_s, 6),
+            "packets": t.packets,
+            "packets_per_s": round(t.packets_per_s, 3),
+            "cached": t.cached,
+            "phases": {
+                phase: round(seconds, 6)
+                for phase, seconds in sorted(t.phases.items())
+            },
+            "maxrss_kb": t.maxrss_kb,
+        }
+        if t.flows is not None:
+            entry["flows"] = {
+                name: t.flows[name] for name in sorted(t.flows)
+            }
+        return entry
 
     def write_manifest(self, run_dir: str) -> str:
         """Write ``manifest.json`` under the run directory."""

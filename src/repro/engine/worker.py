@@ -68,6 +68,20 @@ class ShardContext:
             Optional[int],
             Tuple[Trace, Dict[str, np.ndarray], Dict[str, np.ndarray]],
         ] = {}
+        self._flow_parents: Dict[Optional[int], object] = {}
+
+    def parent_flowset(self, interval_us: Optional[int], window: Trace):
+        """The window's ground-truth flow population (``flow_stats``).
+
+        Aggregating the parent is O(window) and identical for every
+        shard of an interval, so it is memoized per process exactly
+        like the window itself.
+        """
+        if interval_us not in self._flow_parents:
+            from repro.flows.sampled import parent_flows
+
+            self._flow_parents[interval_us] = parent_flows(window)
+        return self._flow_parents[interval_us]
 
     def full_proportions(self) -> Dict[str, np.ndarray]:
         if self._full_proportions is None:
@@ -109,19 +123,23 @@ def execute_shard(
     context: ShardContext,
     shard: Shard,
     phases: Optional[Dict[str, float]] = None,
-) -> Tuple[List[ExperimentRecord], int]:
+) -> Tuple[List[ExperimentRecord], int, Optional[Dict[str, float]]]:
     """Run one cell: draw the sample, score it against every target.
 
-    Returns the shard's records (target order matches the grid's) and
-    the window size, for throughput telemetry.  An empty window yields
-    no records, matching the serial harness's behavior of skipping
-    intervals that contain no packets.
+    Returns the shard's records (target order matches the grid's), the
+    window size for throughput telemetry, and — when the grid asks for
+    ``flow_stats`` — the shard's flow-level summary (``None``
+    otherwise).  An empty window yields no records, matching the
+    serial harness's behavior of skipping intervals that contain no
+    packets.
 
     When ``phases`` is a dict, the per-phase busy seconds of this
-    execution (``window`` extraction, ``sample`` drawing, ``score``)
-    are accumulated into it — monotonic-clock deltas only, and never
-    an input to the computation, so the records are identical with or
-    without timing.
+    execution (``window`` extraction, ``sample`` drawing, ``score``,
+    and ``flows`` when enabled) are accumulated into it —
+    monotonic-clock deltas only, and never an input to the
+    computation, so the records are identical with or without timing.
+    Flow accounting runs strictly *after* the sample is drawn and
+    scored, so it cannot perturb either.
     """
     marks = time.perf_counter if phases is not None else None
     t0 = marks() if marks else 0.0
@@ -129,7 +147,7 @@ def execute_shard(
     if marks:
         phases["window"] = phases.get("window", 0.0) + marks() - t0
     if not len(window):
-        return [], 0
+        return [], 0, None
     grid = context.grid
     # An interval that covers the whole trace is the full-trace cell:
     # identical windows must yield identical records, so the seed is
@@ -165,7 +183,19 @@ def execute_shard(
         )
     if marks:
         phases["score"] = phases.get("score", 0.0) + marks() - t0
-    return records, len(window)
+    flows: Optional[Dict[str, float]] = None
+    if grid.flow_stats:
+        from repro.flows.sampled import shard_flow_summary
+
+        t0 = marks() if marks else 0.0
+        flows = shard_flow_summary(
+            window,
+            result.indices,
+            parent=context.parent_flowset(shard.interval_us, window),
+        )
+        if marks:
+            phases["flows"] = phases.get("flows", 0.0) + marks() - t0
+    return records, len(window), flows
 
 
 def peak_rss_kb() -> int:
@@ -185,18 +215,26 @@ def peak_rss_kb() -> int:
 # ----------------------------------------------------------------------
 # result integrity
 
-def records_digest(packets: int, records: List[ExperimentRecord]) -> str:
+def records_digest(
+    packets: int,
+    records: List[ExperimentRecord],
+    flows: Optional[Dict[str, float]] = None,
+) -> str:
     """Integrity digest over a shard's result payload.
 
     Computed at the worker over the canonical JSON form and recomputed
     by the parent on receipt; any divergence (a corrupted score, a
-    dropped record, a wrong packet count) turns into a retryable
+    dropped record, a wrong packet count, a damaged flow summary)
+    turns into a retryable
     :class:`~repro.engine.faults.ShardCorruptionError` instead of a
-    silently wrong merge.
+    silently wrong merge.  The flow summary joins the payload only
+    when present, so digests of runs without ``flow_stats`` are
+    unchanged (old checkpoint journals stay valid).
     """
-    payload = json.dumps(
-        [packets, [record_to_json(r) for r in records]], sort_keys=True
-    )
+    body: List[object] = [packets, [record_to_json(r) for r in records]]
+    if flows is not None:
+        body.append(flows)
+    payload = json.dumps(body, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -219,10 +257,12 @@ def execute_shard_with_faults(
     fault_plan: Optional[FaultPlan],
     in_pool: bool,
     phases: Optional[Dict[str, float]] = None,
-) -> Tuple[List[ExperimentRecord], int, str]:
+) -> Tuple[
+    List[ExperimentRecord], int, Optional[Dict[str, float]], str
+]:
     """Run one shard attempt under the run's fault plan.
 
-    Returns ``(records, packets, digest)``.  The digest is computed
+    Returns ``(records, packets, flows, digest)``.  The digest is computed
     *before* an injected corruption mutates the payload — exactly the
     ordering a real memory/transport corruption would have — so the
     parent's recomputation catches it.  ``phases`` is forwarded to
@@ -256,11 +296,11 @@ def execute_shard_with_faults(
             )
         if fault.kind == "slow":
             time.sleep(fault.delay_s)
-    records, packets = execute_shard(context, shard, phases=phases)
-    digest = records_digest(packets, records)
+    records, packets, flows = execute_shard(context, shard, phases=phases)
+    digest = records_digest(packets, records, flows)
     if fault is not None and fault.kind == "corrupt":
         records, packets = _corrupted(records, packets)
-    return records, packets, digest
+    return records, packets, flows, digest
 
 
 # ----------------------------------------------------------------------
@@ -298,17 +338,19 @@ def init_worker(
 def run_shard_task(
     shard: Shard, attempt: int = 0
 ) -> Tuple[
-    int, str, List[ExperimentRecord], int, int, float, str,
-    Dict[str, float], int,
+    int, str, List[ExperimentRecord], int, Optional[Dict[str, float]],
+    int, float, str, Dict[str, float], int,
 ]:
     """Pool task: execute one shard attempt in the initialized worker.
 
-    Returns ``(index, key, records, window_packets, pid, wall_s,
-    digest, phases, maxrss_kb)`` — everything the parent needs for
-    merging, journaling, integrity checking, and telemetry.  The
-    ``phases`` mapping carries the shard's per-phase busy seconds and
-    ``maxrss_kb`` the worker's peak RSS, both of which ride back with
-    the result so observability costs no extra IPC round-trips.
+    Returns ``(index, key, records, window_packets, flows, pid,
+    wall_s, digest, phases, maxrss_kb)`` — everything the parent needs
+    for merging, journaling, integrity checking, and telemetry.  The
+    ``phases`` mapping carries the shard's per-phase busy seconds,
+    ``flows`` its flow-level summary (``None`` unless the grid enables
+    ``flow_stats``), and ``maxrss_kb`` the worker's peak RSS, all of
+    which ride back with the result so observability costs no extra
+    IPC round-trips.
 
     The breadcrumb written before execution names the shard this
     worker is holding; it is removed on any normal exit (including
@@ -328,7 +370,7 @@ def run_shard_task(
     try:
         phases: Dict[str, float] = {}
         started = time.perf_counter()
-        records, packets, digest = execute_shard_with_faults(
+        records, packets, flows, digest = execute_shard_with_faults(
             _WORKER_CONTEXT,
             shard,
             attempt,
@@ -342,6 +384,7 @@ def run_shard_task(
             shard.key,
             records,
             packets,
+            flows,
             os.getpid(),
             wall_s,
             digest,

@@ -104,20 +104,25 @@ class MisraGries:
 
         The merged summary keeps the Misra-Gries guarantee for the
         concatenated stream, enabling per-subsystem summaries to be
-        combined at the node processor.
+        combined at the node processor.  With mismatched capacities the
+        merge can only honour the *weaker* of the two guarantees, so
+        the result uses ``min(self.capacity, other.capacity)`` — using
+        the larger k would advertise an error bound neither input can
+        support.
         """
-        merged = MisraGries(self.capacity)
+        capacity = min(self.capacity, other.capacity)
+        merged = MisraGries(capacity)
         merged.stream_length = self.stream_length + other.stream_length
         combined: Dict[Hashable, int] = dict(self._counters)
         for item, count in other._counters.items():
             combined[item] = combined.get(item, 0) + count
-        if len(combined) > self.capacity:
+        if len(combined) > capacity:
             # Keep the top k, subtracting the (k+1)-th largest count.
             ordered = sorted(combined.items(), key=lambda kv: -kv[1])
-            cut = ordered[self.capacity][1]
+            cut = ordered[capacity][1]
             combined = {
                 item: count - cut
-                for item, count in ordered[: self.capacity]
+                for item, count in ordered[:capacity]
                 if count - cut > 0
             }
         merged._counters = combined

@@ -158,19 +158,23 @@ class TestFaultPlan:
 class TestDigest:
     def test_digest_covers_records_and_packets(self, grid, minute_trace, shards):
         context = ShardContext(minute_trace, grid)
-        records, packets, digest = execute_shard_with_faults(
+        records, packets, flows, digest = execute_shard_with_faults(
             context, shards[0], 0, None, in_pool=False
         )
+        assert flows is None
         assert digest == records_digest(packets, records)
         assert digest != records_digest(packets + 1, records)
         assert digest != records_digest(packets, records[1:])
+        assert digest != records_digest(
+            packets, records, {"parent_flows": 1.0}
+        )
 
     def test_injected_corruption_is_detectable(
         self, grid, minute_trace, shards
     ):
         plan = FaultPlan().inject(shards[0].key, Fault("corrupt"))
         context = ShardContext(minute_trace, grid)
-        records, packets, digest = execute_shard_with_faults(
+        records, packets, flows, digest = execute_shard_with_faults(
             context, shards[0], 0, plan, in_pool=False
         )
         assert records_digest(packets, records) != digest

@@ -60,7 +60,7 @@ def test_shuffled_execution_order_is_invisible(
     context = ShardContext(minute_trace, grid)
     by_index = {}
     for shard in shards:
-        records, _ = execute_shard(context, shard)
+        records, _, _ = execute_shard(context, shard)
         by_index[shard.index] = records
     merged = [
         record_to_json(r)

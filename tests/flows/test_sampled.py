@@ -1,0 +1,159 @@
+"""Sampled-flow populations and the streaming accountant."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling.factory import make_sampler
+from repro.core.sampling.streaming import StreamingSystematic
+from repro.flows.sampled import (
+    FLOW_SIZE_BINS,
+    NULL_ACCOUNTANT,
+    FlowSet,
+    NullFlowAccountant,
+    StreamFlowAccountant,
+    flow_study,
+    parent_flows,
+    sampled_flows,
+    shard_flow_summary,
+    study_from_result,
+)
+from repro.flows.table import aggregate_trace, iter_flow_keys
+from repro.obs.live.store import LiveMetricsStore
+
+
+class TestFlowSet:
+    def test_summaries(self, tiny_trace):
+        population = parent_flows(tiny_trace)
+        assert len(population) == len(population.records)
+        assert population.total_packets == len(tiny_trace)
+        assert population.total_bytes == int(tiny_trace.sizes.sum())
+        assert population.mean_size() == pytest.approx(
+            len(tiny_trace) / len(population)
+        )
+        assert population.sizes().dtype == np.int64
+
+    def test_empty(self):
+        empty = FlowSet(records=())
+        assert len(empty) == 0
+        assert empty.total_packets == 0
+        assert empty.mean_size() == 0.0
+        assert empty.keys() == frozenset()
+
+    def test_size_counts_over_bins(self, minute_trace):
+        population = parent_flows(minute_trace)
+        counts = population.size_counts()
+        assert counts.shape == (FLOW_SIZE_BINS.n_bins,)
+        assert counts.sum() == len(population)
+
+
+class TestSampledFlows:
+    def test_sampled_is_subset_of_parent(self, minute_trace):
+        sampler = make_sampler("systematic", granularity=50)
+        result = sampler.sample(minute_trace)
+        parent = parent_flows(minute_trace)
+        sampled = sampled_flows(minute_trace, result)
+        assert sampled.keys() <= parent.keys()
+        assert sampled.total_packets == len(result.indices)
+
+    def test_flow_study_summary(self, minute_trace):
+        sampler = make_sampler("systematic", granularity=50)
+        study = flow_study(
+            minute_trace, sampler, rng=np.random.default_rng(0)
+        )
+        assert study.method == "systematic"
+        assert study.granularity == 50.0
+        assert 0.0 < study.detected_fraction < 1.0
+        summary = study.summary()
+        assert summary["parent_flows"] == float(len(study.parent))
+        assert summary["sampled_flows"] == float(len(study.sampled))
+        # Sampling shrinks surviving flows, never grows them.
+        assert (
+            summary["sampled_mean_packets"] < summary["parent_mean_packets"]
+        )
+
+    def test_study_matches_harness_selection(self, minute_trace):
+        """The study's sample is the one the harness would draw."""
+        sampler = make_sampler("stratified", granularity=64)
+        direct = sampler.sample(minute_trace, rng=np.random.default_rng(7))
+        study = study_from_result(minute_trace, direct)
+        assert study.sampled.total_packets == len(direct.indices)
+        again = flow_study(
+            minute_trace,
+            make_sampler("stratified", granularity=64),
+            rng=np.random.default_rng(7),
+        )
+        assert again.sampled.records == study.sampled.records
+
+    def test_shard_flow_summary_pure_function(self, minute_trace):
+        sampler = make_sampler("systematic", granularity=50)
+        result = sampler.sample(minute_trace)
+        bare = shard_flow_summary(minute_trace, result.indices)
+        cached = shard_flow_summary(
+            minute_trace, result.indices, parent=parent_flows(minute_trace)
+        )
+        assert bare == cached
+        assert set(bare) == {
+            "parent_flows",
+            "sampled_flows",
+            "detected_fraction",
+            "parent_mean_packets",
+            "sampled_mean_packets",
+        }
+
+
+class TestStreamFlowAccountant:
+    def _run(self, trace, granularity=10, store=None):
+        accountant = StreamFlowAccountant(store=store)
+        selector = StreamingSystematic(granularity)
+        for timestamp, size, key in iter_flow_keys(trace):
+            kept = selector.offer(timestamp)
+            accountant.observe(timestamp, size, key, kept)
+        accountant.flush()
+        return accountant
+
+    def test_matches_batch_aggregation(self, tiny_trace):
+        """Streaming accounting equals batch aggregation of both sides."""
+        accountant = self._run(tiny_trace, granularity=2)
+        assert accountant.parent().records == tuple(
+            aggregate_trace(tiny_trace)
+        )
+        selector = StreamingSystematic(2)
+        indices = selector.offer_all(tiny_trace.timestamps_us)
+        assert accountant.sampled().records == tuple(
+            aggregate_trace(tiny_trace.select(indices))
+        )
+
+    def test_metrics_exposed(self, tiny_trace):
+        store = LiveMetricsStore()
+        accountant = self._run(tiny_trace, granularity=2, store=store)
+        snapshot = {
+            name: value for name, value in store.snapshot()["counters"].items()
+        }
+        assert snapshot["flow_cache_exported_parent"] == len(
+            accountant.parent()
+        )
+        assert snapshot["flow_cache_exported_sampled"] == len(
+            accountant.sampled()
+        )
+        gauges = dict(store.snapshot()["gauges"])
+        assert gauges["flow_cache_occupancy_parent"] == 0.0
+        assert gauges["flow_cache_peak_occupancy_parent"] >= 1.0
+
+    def test_skip_only_stream_never_touches_sampled_table(self, tiny_trace):
+        accountant = StreamFlowAccountant()
+        for timestamp, size, key in iter_flow_keys(tiny_trace):
+            accountant.observe(timestamp, size, key, kept=False)
+        accountant.flush()
+        assert len(accountant.parent()) > 0
+        assert len(accountant.sampled()) == 0
+
+    def test_null_twin_is_inert(self, tiny_trace):
+        assert NULL_ACCOUNTANT.enabled is False
+        assert isinstance(NULL_ACCOUNTANT, NullFlowAccountant)
+        for timestamp, size, key in iter_flow_keys(tiny_trace):
+            assert NULL_ACCOUNTANT.observe(timestamp, size, key, True) is None
+        assert NULL_ACCOUNTANT.flush() is None
+
+    def test_enabled_flag(self):
+        assert StreamFlowAccountant.enabled is True
+        assert NullFlowAccountant.enabled is False

@@ -1,0 +1,169 @@
+"""The streaming flow cache: timeouts, eviction, determinism."""
+
+import pytest
+
+from repro.flows.table import (
+    DEFAULT_ACTIVE_TIMEOUT_US,
+    DEFAULT_IDLE_TIMEOUT_US,
+    FlowRecord,
+    FlowTable,
+    aggregate_trace,
+    iter_flow_keys,
+)
+
+KEY_A = (1, 1001, 1024, 23, 6)
+KEY_B = (2, 1002, 1025, 20, 6)
+KEY_C = (3, 1003, 1026, 80, 6)
+
+
+class TestFlowTable:
+    def test_single_flow_accumulates(self):
+        table = FlowTable()
+        assert table.observe(0, 100, KEY_A) == []
+        assert table.observe(1000, 200, KEY_A) == []
+        records = table.flush()
+        assert len(records) == 1
+        record = records[0]
+        assert record.key == KEY_A
+        assert record.packets == 2
+        assert record.bytes == 300
+        assert record.first_us == 0
+        assert record.last_us == 1000
+        assert record.duration_us == 1000
+        assert record.reason == "flush"
+
+    def test_idle_timeout_expires_silent_flow(self):
+        table = FlowTable(idle_timeout_us=1_000, active_timeout_us=10_000)
+        table.observe(0, 40, KEY_A)
+        # KEY_A silent past the idle deadline: the next arrival expires it.
+        exported = table.observe(1_000, 40, KEY_B)
+        assert [r.key for r in exported] == [KEY_A]
+        assert exported[0].reason == "idle"
+        assert table.occupancy == 1
+
+    def test_idle_expiry_is_oldest_first(self):
+        table = FlowTable(idle_timeout_us=1_000, active_timeout_us=10_000)
+        table.observe(0, 40, KEY_A)
+        table.observe(10, 40, KEY_B)
+        exported = table.observe(5_000, 40, KEY_C)
+        assert [r.key for r in exported] == [KEY_A, KEY_B]
+        assert all(r.reason == "idle" for r in exported)
+
+    def test_active_timeout_splits_long_flow(self):
+        table = FlowTable(idle_timeout_us=1_000, active_timeout_us=2_000)
+        for timestamp in range(0, 3_000, 500):
+            exported = table.observe(timestamp, 40, KEY_A)
+            if timestamp < 2_000:
+                assert exported == []
+            elif timestamp == 2_000:
+                # Flow born at 0 hits the active timeout: exported and
+                # restarted by this very packet.
+                assert [r.reason for r in exported] == ["active"]
+                assert exported[0].packets == 4
+        final = table.flush()
+        assert len(final) == 1
+        assert final[0].first_us == 2_000
+        assert final[0].packets == 2
+
+    def test_emergency_eviction_at_capacity(self):
+        table = FlowTable(max_flows=2)
+        table.observe(0, 40, KEY_A)
+        table.observe(1, 40, KEY_B)
+        exported = table.observe(2, 40, KEY_C)
+        # KEY_A was least recently updated: evicted to make room.
+        assert [r.key for r in exported] == [KEY_A]
+        assert exported[0].reason == "evicted"
+        assert table.occupancy == 2
+        assert table.exported["evicted"] == 1
+
+    def test_eviction_respects_update_order(self):
+        table = FlowTable(max_flows=2)
+        table.observe(0, 40, KEY_A)
+        table.observe(1, 40, KEY_B)
+        table.observe(2, 40, KEY_A)  # refresh A: B becomes LRU
+        exported = table.observe(3, 40, KEY_C)
+        assert [r.key for r in exported] == [KEY_B]
+
+    def test_time_must_not_go_backwards(self):
+        table = FlowTable()
+        table.observe(1_000, 40, KEY_A)
+        with pytest.raises(ValueError, match="backwards"):
+            table.observe(999, 40, KEY_A)
+
+    def test_equal_timestamps_are_fine(self):
+        table = FlowTable()
+        table.observe(1_000, 40, KEY_A)
+        table.observe(1_000, 40, KEY_B)
+        assert table.occupancy == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowTable(idle_timeout_us=0)
+        with pytest.raises(ValueError):
+            FlowTable(idle_timeout_us=2_000, active_timeout_us=1_000)
+        with pytest.raises(ValueError):
+            FlowTable(max_flows=0)
+
+    def test_stats_and_counters(self):
+        table = FlowTable(idle_timeout_us=1_000, active_timeout_us=10_000)
+        table.observe(0, 40, KEY_A)
+        table.observe(10, 40, KEY_B)
+        table.observe(5_000, 40, KEY_C)  # expires A and B
+        table.flush()
+        stats = table.stats()
+        assert stats["flows_created"] == 3
+        assert stats["exported_idle"] == 2
+        assert stats["exported_flush"] == 1
+        assert stats["occupancy"] == 0
+        assert stats["peak_occupancy"] == 2
+        assert table.exported_total == 3
+
+    def test_defaults_are_netflow_v5(self):
+        table = FlowTable()
+        assert table.idle_timeout_us == DEFAULT_IDLE_TIMEOUT_US == 15_000_000
+        assert (
+            table.active_timeout_us
+            == DEFAULT_ACTIVE_TIMEOUT_US
+            == 1_800_000_000
+        )
+
+    def test_records_are_immutable(self):
+        table = FlowTable()
+        table.observe(0, 40, KEY_A)
+        record = table.flush()[0]
+        assert isinstance(record, FlowRecord)
+        with pytest.raises(AttributeError):
+            record.packets = 99
+
+
+class TestAggregateTrace:
+    def test_packet_conservation(self, tiny_trace):
+        records = aggregate_trace(tiny_trace)
+        assert sum(r.packets for r in records) == len(tiny_trace)
+        assert sum(r.bytes for r in records) == int(tiny_trace.sizes.sum())
+
+    def test_deterministic(self, tiny_trace):
+        assert aggregate_trace(tiny_trace) == aggregate_trace(tiny_trace)
+
+    def test_distinct_tuples_become_distinct_flows(self, tiny_trace):
+        records = aggregate_trace(tiny_trace)
+        expected = {key for _, _, key in iter_flow_keys(tiny_trace)}
+        assert {r.key for r in records} == expected
+
+    def test_iter_flow_keys_yields_plain_ints(self, tiny_trace):
+        timestamp, size, key = next(iter(iter_flow_keys(tiny_trace)))
+        assert type(timestamp) is int
+        assert type(size) is int
+        assert all(type(part) is int for part in key)
+
+    def test_caller_supplied_table_keeps_counters(self, tiny_trace):
+        table = FlowTable()
+        aggregate_trace(tiny_trace, table=table)
+        assert table.exported_total == table.stats()["exported_flush"]
+        assert table.flows_created >= 1
+
+    def test_real_trace_flow_census(self, minute_trace):
+        """A calibrated minute must aggregate into plausibly many flows."""
+        records = aggregate_trace(minute_trace)
+        assert sum(r.packets for r in records) == len(minute_trace)
+        assert 1 < len(records) < len(minute_trace)

@@ -81,6 +81,108 @@ class TestMisraGries:
             assert estimate <= count
             assert count - estimate <= bound + 1e-9
 
+    def test_merge_mismatched_capacities_uses_weaker(self, rng):
+        """Merging k=5 with k=20 can only honour the k=5 guarantee."""
+        stream_a = rng.choice(40, size=4000, p=_zipf(40))
+        stream_b = rng.choice(40, size=4000, p=_zipf(40))
+        a = MisraGries(capacity=5)
+        a.update_many(stream_a.tolist())
+        b = MisraGries(capacity=20)
+        b.update_many(stream_b.tolist())
+        for merged in (a.merge(b), b.merge(a)):
+            assert merged.capacity == 5
+            assert len(merged.candidates()) <= 5
+            assert merged.stream_length == 8000
+            whole = np.concatenate([stream_a, stream_b])
+            truth = {
+                v: int(c) for v, c in zip(*np.unique(whole, return_counts=True))
+            }
+            bound = merged.stream_length / (merged.capacity + 1)
+            for item, count in truth.items():
+                estimate = merged.estimate(item)
+                assert estimate <= count
+                assert count - estimate <= bound + 1e-9
+
+    def test_merge_is_symmetric_in_bound(self, rng):
+        """a.merge(b) and b.merge(a) advertise the same error bound."""
+        a = MisraGries(capacity=3)
+        a.update_many(rng.integers(0, 10, size=500).tolist())
+        b = MisraGries(capacity=11)
+        b.update_many(rng.integers(0, 10, size=700).tolist())
+        assert a.merge(b).error_bound == b.merge(a).error_bound
+
+    def test_merge_overlapping_candidates_adds_counts(self):
+        """Shared items keep the sum of both lower bounds (no shrink)."""
+        a = MisraGries(capacity=4)
+        b = MisraGries(capacity=4)
+        a.update("x", weight=30)
+        a.update("y", weight=10)
+        b.update("x", weight=5)
+        b.update("z", weight=7)
+        merged = a.merge(b)
+        # 3 distinct items <= capacity 4: no shrink step, exact sums.
+        assert merged.estimate("x") == 35
+        assert merged.estimate("y") == 10
+        assert merged.estimate("z") == 7
+        assert merged.stream_length == 52
+
+    def test_merge_disjoint_candidates_shrinks_to_capacity(self):
+        """Disjoint summaries overflow capacity and shrink correctly."""
+        a = MisraGries(capacity=3)
+        b = MisraGries(capacity=3)
+        for item, weight in (("a", 50), ("b", 20), ("c", 5)):
+            a.update(item, weight=weight)
+        for item, weight in (("d", 40), ("e", 8), ("f", 6)):
+            b.update(item, weight=weight)
+        merged = a.merge(b)
+        assert len(merged.candidates()) <= 3
+        # Shrink subtracts the (k+1)-th largest (8): survivors keep
+        # count - 8, so each still undercounts by at most n/(k+1).
+        assert merged.estimate("a") == 42
+        assert merged.estimate("d") == 32
+        assert merged.estimate("b") == 12
+        assert merged.estimate("e") == 0
+        bound = merged.error_bound
+        truth = {"a": 50, "b": 20, "c": 5, "d": 40, "e": 8, "f": 6}
+        for item, count in truth.items():
+            assert count - merged.estimate(item) <= bound + 1e-9
+
+    def test_merge_empty_and_repeated(self, rng):
+        """Merging with an empty summary is the identity on counts."""
+        a = MisraGries(capacity=6)
+        a.update_many(rng.integers(0, 15, size=400).tolist())
+        empty = MisraGries(capacity=6)
+        merged = a.merge(empty)
+        assert merged.candidates() == a.candidates()
+        assert merged.stream_length == a.stream_length
+        # Chained merges keep the weakest capacity throughout.
+        chained = merged.merge(MisraGries(capacity=2))
+        assert chained.capacity == 2
+        assert len(chained.candidates()) <= 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        items_a=st.lists(st.integers(min_value=0, max_value=12), max_size=200),
+        items_b=st.lists(st.integers(min_value=0, max_value=12), max_size=200),
+        cap_a=st.integers(min_value=1, max_value=8),
+        cap_b=st.integers(min_value=1, max_value=8),
+    )
+    def test_merge_bound_property(self, items_a, items_b, cap_a, cap_b):
+        """The merged bound holds for any capacities and streams."""
+        a = MisraGries(cap_a)
+        a.update_many(items_a)
+        b = MisraGries(cap_b)
+        b.update_many(items_b)
+        merged = a.merge(b)
+        assert merged.capacity == min(cap_a, cap_b)
+        whole = items_a + items_b
+        bound = len(whole) / (merged.capacity + 1)
+        for item in set(whole):
+            true_count = whole.count(item)
+            estimate = merged.estimate(item)
+            assert estimate <= true_count
+            assert true_count - estimate <= bound + 1e-9
+
     def test_validation(self):
         with pytest.raises(ValueError):
             MisraGries(capacity=0)

@@ -222,3 +222,141 @@ class TestEngineFlags:
         manifest = json.loads((tmp_path / "run" / "manifest.json").read_text())
         assert manifest["shards_executed"] == 0
         assert manifest["shards_skipped"] == manifest["shards_total"]
+
+
+class TestDocParserAgreement:
+    """The module docstring's subcommand bullets track the parser.
+
+    The docstring used to hardcode a subcommand count ("Eleven
+    subcommands..."), which silently went stale every time a command
+    was added.  Now the prose derives nothing it can get wrong — and
+    this test pins the one thing it still states: exactly one
+    ``* ``name`` —`` bullet per registered subparser.
+    """
+
+    @staticmethod
+    def _registered_subcommands():
+        import argparse
+
+        parser = build_parser()
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                return set(action.choices)
+        raise AssertionError("parser has no subparsers")
+
+    @staticmethod
+    def _documented_subcommands():
+        import re
+
+        import repro.cli
+
+        return set(re.findall(r"^\* ``(\w+)``", repro.cli.__doc__, re.M))
+
+    def test_every_subcommand_is_documented(self):
+        registered = self._registered_subcommands()
+        documented = self._documented_subcommands()
+        assert registered <= documented, (
+            "subcommands missing a docstring bullet: %s"
+            % sorted(registered - documented)
+        )
+
+    def test_no_stale_documentation(self):
+        registered = self._registered_subcommands()
+        documented = self._documented_subcommands()
+        assert documented <= registered, (
+            "docstring bullets for unregistered subcommands: %s"
+            % sorted(documented - registered)
+        )
+
+    def test_no_hardcoded_count(self):
+        """No spelled-out or numeric subcommand count to go stale."""
+        import re
+
+        import repro.cli
+
+        first_paragraph = repro.cli.__doc__.split("*")[0]
+        assert not re.search(
+            r"(?i)\b(eleven|twelve|thirteen|fourteen|\d+)\s+subcommands",
+            first_paragraph,
+        )
+
+
+class TestFlowsCommand:
+    def test_flows_parser_defaults(self):
+        args = build_parser().parse_args(["flows", "x", "aggregate"])
+        assert args.granularity == 100
+        assert args.method == "systematic"
+        assert args.max_flows == 65536
+
+    def test_flows_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flows", "x", "bogus-mode"])
+
+    def test_flows_aggregate_and_csv(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pcap")
+        csv_path = tmp_path / "flows.csv"
+        main(["generate", trace_path, "--duration", "10", "--seed", "5"])
+        capsys.readouterr()
+        assert (
+            main(["flows", trace_path, "aggregate", "--csv", str(csv_path)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "flow records" in out
+        assert "exported (flush)" in out
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("src_net,dst_net,src_port,dst_port")
+
+    def test_flows_sample_reports_detection(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pcap")
+        main(["generate", trace_path, "--duration", "10", "--seed", "5"])
+        capsys.readouterr()
+        assert (
+            main(["flows", trace_path, "sample", "--granularity", "20"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "parent:" in out
+        assert "sampled:" in out
+        assert "detected fraction" in out
+
+    def test_flows_compare_scores_both_estimators(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pcap")
+        csv_path = tmp_path / "scores.csv"
+        main(["generate", trace_path, "--duration", "30", "--seed", "5"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "flows",
+                    trace_path,
+                    "compare",
+                    "--granularity",
+                    "20",
+                    "--csv",
+                    str(csv_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "naive" in out
+        assert "em" in out
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "estimator,phi,l1_cost,chi2_significance"
+        assert len(lines) == 3
+
+    def test_flows_invert_rejects_granularity_one(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pcap")
+        main(["generate", trace_path, "--duration", "5", "--seed", "5"])
+        capsys.readouterr()
+        assert (
+            main(["flows", trace_path, "invert", "--granularity", "1"]) == 2
+        )
+        err = capsys.readouterr().err
+        assert "granularity" in err
+
+    def test_flows_missing_trace_fails_cleanly(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.pcap")
+        assert main(["flows", missing, "aggregate"]) == 2
+        err = capsys.readouterr().err
+        assert "not found" in err

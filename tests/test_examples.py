@@ -45,6 +45,11 @@ def run_example(name: str) -> str:
             "streaming_monitor",
             ["ALERT raised", "healthy — no alerts", "OpenMetrics exposition"],
         ),
+        (
+            "flow_accounting",
+            ["flow accounting under 1-in-100 sampling",
+             "binned EM inversion", "beats the naive rescaling"],
+        ),
     ],
 )
 def test_example_runs(name, expectations):
@@ -65,6 +70,7 @@ def test_examples_directory_complete():
         "port_monitoring",
         "daily_pattern",
         "streaming_monitor",
+        "flow_accounting",
     }
     assert scripts == covered
 

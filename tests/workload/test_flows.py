@@ -5,6 +5,8 @@ import pytest
 
 from repro.workload.flows import (
     DST_NET_BASE,
+    EPHEMERAL_PORT_BASE,
+    EPHEMERAL_PORT_SPAN,
     SRC_NET_BASE,
     FlowPool,
     zipf_probabilities,
@@ -28,6 +30,33 @@ class TestZipf:
     def test_needs_positive_n(self):
         with pytest.raises(ValueError):
             zipf_probabilities(0)
+
+    def test_single_rank_is_certain(self):
+        """n=1 must degenerate to probability one, any exponent."""
+        for exponent in (0.0, 1.0, 5.0, -2.0):
+            probs = zipf_probabilities(1, exponent=exponent)
+            assert probs.shape == (1,)
+            assert probs[0] == pytest.approx(1.0)
+
+    def test_extreme_positive_exponent_concentrates(self):
+        """A huge exponent puts essentially all mass on rank 1."""
+        probs = zipf_probabilities(100, exponent=50.0)
+        assert probs[0] == pytest.approx(1.0)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(np.isfinite(probs))
+
+    def test_extreme_negative_exponent_favors_last_rank(self):
+        """Negative exponents invert the skew but stay normalized."""
+        probs = zipf_probabilities(50, exponent=-30.0)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(np.isfinite(probs))
+        assert probs[-1] == probs.max()
+        assert np.all(np.diff(probs) > 0)
+
+    def test_large_n_stays_normalized_and_finite(self):
+        probs = zipf_probabilities(100_000, exponent=1.2)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs > 0)
 
 
 class TestFlowPool:
@@ -92,6 +121,47 @@ class TestFlowPool:
         out_b = b.assign(comp, np.random.default_rng(9))
         for col_a, col_b in zip(out_a, out_b):
             assert np.array_equal(col_a, col_b)
+
+    def test_ephemeral_ports_within_range(self, pool, rng):
+        """TCP/UDP source ports stay in [BASE, BASE + SPAN)."""
+        mix = nsfnet_mix()
+        ported = [
+            i
+            for i, c in enumerate(mix.components)
+            if c.name != "icmp"
+        ]
+        comp = np.asarray(ported * 200, dtype=np.int64)
+        src, _dst, sport, _dport = pool.assign(comp, rng)
+        assert sport.min() >= EPHEMERAL_PORT_BASE
+        assert sport.max() < EPHEMERAL_PORT_BASE + EPHEMERAL_PORT_SPAN
+
+    def test_ephemeral_range_never_collides_with_server_ports(self):
+        """Every well-known server port sits below the ephemeral base."""
+        mix = nsfnet_mix()
+        server_ports = {c.server_port for c in mix.components}
+        assert all(p < EPHEMERAL_PORT_BASE for p in server_ports)
+
+    def test_conversation_assignment_deterministic_under_seed(self):
+        """Same pool seed + same assign seed => identical identities."""
+        mix = nsfnet_mix()
+        comp = np.asarray([0, 0, 1, 2, 2, 2, 3, 0, 4, 4], dtype=np.int64)
+        outputs = []
+        for _ in range(2):
+            pool = FlowPool(mix, rng=np.random.default_rng(1234))
+            outputs.append(pool.assign(comp, np.random.default_rng(99)))
+        for col_a, col_b in zip(*outputs):
+            assert np.array_equal(col_a, col_b)
+
+    def test_different_assign_seed_changes_conversations(self):
+        """Selection randomness comes from the per-call rng."""
+        mix = nsfnet_mix()
+        pool = FlowPool(mix, rng=np.random.default_rng(1234))
+        comp = (np.arange(4000) % 3).astype(np.int64)
+        out_a = pool.assign(comp, np.random.default_rng(1))
+        out_b = pool.assign(comp, np.random.default_rng(2))
+        assert any(
+            not np.array_equal(a, b) for a, b in zip(out_a, out_b)
+        )
 
     def test_validation(self):
         mix = nsfnet_mix()
