@@ -34,7 +34,14 @@ The subcommands (one bullet each, kept in lockstep with the parser by
   characterization target, threshold + hysteresis alert rules, a
   periodic console status line, OpenMetrics snapshots
   (``--metrics-out``) or a ``/metrics`` HTTP port (``--serve-port``),
-  and an ``events.jsonl`` alert/heartbeat record under ``--run-dir``.
+  and an ``events.jsonl`` alert/heartbeat record under ``--run-dir``;
+  ``--fastpath {auto,on,off}`` picks between the chunked vectorized
+  pipeline (:mod:`repro.fastpath`, the default) and the per-packet
+  reference loop — both produce bit-identical decisions, windows, and
+  metrics.
+
+The ``flows`` and ``monitor`` subcommands accept ``--fastpath``; every
+other subcommand is unaffected by it.
 
 Installed as ``repro-traffic`` (see pyproject).
 """
@@ -440,8 +447,6 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     )
 
     raised = 0
-    timestamps = trace.timestamps_us.tolist()
-    sizes = trace.sizes.tolist()
 
     def handle_window(stats) -> None:
         nonlocal raised
@@ -464,11 +469,30 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         if exporter is not None:
             exporter.export(monitor.store)
 
+    kernel = None
+    if args.fastpath != "off":
+        from repro.fastpath import chunk_kernel_for
+
+        kernel = chunk_kernel_for(selector)
     try:
-        for timestamp, size in zip(timestamps, sizes):
-            kept = selector.offer(timestamp)
-            for stats in monitor.observe(timestamp, float(size), kept):
-                handle_window(stats)
+        if kernel is not None:
+            from repro.fastpath import iter_trace_chunks, run_monitor
+
+            run_monitor(
+                iter_trace_chunks(trace),
+                kernel,
+                monitor,
+                on_window=handle_window,
+            )
+        else:
+            # The per-packet reference loop (--fastpath off): the
+            # executable semantics the fast path is pinned against.
+            timestamps = trace.timestamps_us.tolist()
+            sizes = trace.sizes.tolist()
+            for timestamp, size in zip(timestamps, sizes):
+                kept = selector.offer(timestamp)
+                for stats in monitor.observe(timestamp, float(size), kept):
+                    handle_window(stats)
         final = monitor.flush()
         if final is not None:
             handle_window(final)
@@ -561,13 +585,26 @@ def _write_csv(path: str, header: List[str], rows: List[List[object]]) -> None:
     print("saved %d rows to %s" % (len(rows), path))
 
 
+def _flows_aggregate(args: argparse.Namespace):
+    """The trace->records aggregation the flow flags select, or None.
+
+    Returns the chunked fast-path aggregation unless ``--fastpath off``;
+    None means the per-packet reference (:func:`aggregate_trace`).
+    """
+    if args.fastpath == "off":
+        return None
+    from repro.fastpath import fast_aggregate_trace
+
+    return fast_aggregate_trace
+
+
 def _flows_study(args: argparse.Namespace, trace):
     """Draw one sample and build the parent/sampled flow populations."""
     from repro.flows.sampled import flow_study
 
     rng = np.random.default_rng(args.seed)
     sampler = make_sampler(args.method, args.granularity, trace=trace, rng=rng)
-    return flow_study(trace, sampler, rng=rng)
+    return flow_study(trace, sampler, rng=rng, aggregate=_flows_aggregate(args))
 
 
 def _cmd_flows(args: argparse.Namespace) -> int:
@@ -587,7 +624,12 @@ def _cmd_flows(args: argparse.Namespace) -> int:
         from repro.flows.table import aggregate_trace
 
         table = _flow_table_from_args(args)
-        records = aggregate_trace(trace, table=table)
+        if args.fastpath != "off":
+            from repro.fastpath import fast_aggregate_trace
+
+            records = fast_aggregate_trace(trace, table=table)
+        else:
+            records = aggregate_trace(trace, table=table)
         flows = FlowSet(records=tuple(records))
         stats = table.stats()
         print(
@@ -964,6 +1006,13 @@ def build_parser() -> argparse.ArgumentParser:
         "updated flow is evicted",
     )
     flw.add_argument("--csv", default="", help="save the mode's table as CSV")
+    flw.add_argument(
+        "--fastpath",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="chunked vectorized flow accounting (auto/on) or the "
+        "per-packet reference loop (off); results are bit-identical",
+    )
     flw.set_defaults(func=_cmd_flows)
 
     fid = sub.add_parser(
@@ -1086,6 +1135,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit with status 1 if any alert was raised (for CI-style "
         "sampling-design checks)",
+    )
+    live.add_argument(
+        "--fastpath",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="chunked vectorized pipeline (auto/on) or the per-packet "
+        "reference loop (off); windows, metrics, and events are "
+        "bit-identical",
     )
     live.set_defaults(func=_cmd_monitor)
     return parser

@@ -137,14 +137,17 @@ class StreamingTimerSystematic(StreamingSampler):
         return True
 
 
-class StreamingReservoir:
+class StreamingReservoir(StreamingSampler):
     """Vitter's algorithm R: a uniform n-of-N sample from a stream.
 
     Unlike the other streaming samplers this one revises its past
-    choices (a reservoir slot may be overwritten), so its interface
-    returns the final selected positions instead of per-packet
-    decisions.  It is the online analogue of simple random sampling:
-    after offering N packets, every n-subset is equally likely.
+    choices (a reservoir slot may be overwritten), so the ``offer``
+    verdict is *admission* — ``True`` when the arriving packet enters
+    the reservoir now (possibly displacing an earlier pick), ``False``
+    when it is rejected outright — and :meth:`offer_all` reports the
+    reservoir's *final* positions rather than the admission stream.  It
+    is the online analogue of simple random sampling: after offering N
+    packets, every n-subset is equally likely.
     """
 
     def __init__(
@@ -157,16 +160,22 @@ class StreamingReservoir:
         self._positions: List[int] = []
         self._seen = 0
 
-    def offer(self, timestamp_us: int) -> None:
-        """Offer the next packet (timestamp unused; kept for symmetry)."""
+    def offer(self, timestamp_us: int) -> bool:
+        """Admit or reject the next packet (timestamp unused).
+
+        The return value reports admission *at offer time*; a ``True``
+        packet may still be displaced by a later arrival.
+        """
         position = self._seen
         self._seen += 1
         if len(self._positions) < self.capacity:
             self._positions.append(position)
-            return
+            return True
         slot = int(self._rng.integers(0, self._seen))
         if slot < self.capacity:
             self._positions[slot] = position
+            return True
+        return False
 
     def offer_all(self, timestamps_us: Iterable[int]) -> np.ndarray:
         """Offer a whole sequence; return the final sorted positions."""

@@ -1,0 +1,70 @@
+"""Vectorized chunked fast path for the online pipeline.
+
+The per-packet modules — :mod:`repro.core.sampling.streaming`,
+:class:`repro.flows.sampled.StreamFlowAccountant`, and the live
+:class:`repro.obs.live.QualityMonitor` — are the *executable reference
+semantics* of the forwarding-path monitor: one keep/skip decision, one
+flow-cache update, four histogram folds per packet, in pure Python.
+Faithful, but interpreter-bound at ~µs/packet.
+
+This package re-expresses that pipeline over :class:`~repro.trace.Trace`
+*chunks* (the columnar numpy layout :func:`~repro.trace.pcap.iter_pcap`
+already yields) as O(chunk) numpy kernels:
+
+* :mod:`repro.fastpath.selectors` — keep-mask kernels for the three
+  streaming selectors, with counter/bucket/timer state carried across
+  chunk boundaries in small dataclasses;
+* :mod:`repro.fastpath.flows` — a vectorized flow-accounting kernel
+  (packed-integer 5-tuple grouping, segmented idle-expiry
+  reconstruction) feeding :class:`~repro.flows.table.FlowTable`-
+  compatible updates and the ``flow_cache_*`` live metrics;
+* :mod:`repro.fastpath.monitor` — bulk
+  :class:`~repro.stats.streams.RunningHistogram` updates for
+  :class:`~repro.obs.live.QualityMonitor` windows;
+* :mod:`repro.fastpath.pipeline` — chunk iteration and the end-to-end
+  monitored run the CLI's ``--fastpath`` flag drives.
+
+The non-negotiable contract, pinned by ``tests/fastpath``: for every
+selector, chunk size, and chunk boundary placement, the fast path's
+keep/skip stream, exported flow records, and live metrics are
+bit-identical to the per-packet reference — same RNG discipline, same
+state at every chunk boundary.  Where a kernel cannot prove a chunk is
+event-free (flow expiry, eviction), it falls back to the per-packet
+reference for that chunk, so identity never rests on an approximation.
+"""
+
+from repro.fastpath.flows import (
+    FlowAccountantKernel,
+    account_chunk,
+    encode_flow_keys,
+    fast_aggregate_trace,
+)
+from repro.fastpath.monitor import observe_chunk
+from repro.fastpath.pipeline import (
+    DEFAULT_CHUNK_PACKETS,
+    iter_trace_chunks,
+    run_monitor,
+)
+from repro.fastpath.selectors import (
+    ChunkSelector,
+    StratifiedKernel,
+    SystematicKernel,
+    TimerKernel,
+    chunk_kernel_for,
+)
+
+__all__ = [
+    "ChunkSelector",
+    "DEFAULT_CHUNK_PACKETS",
+    "FlowAccountantKernel",
+    "StratifiedKernel",
+    "SystematicKernel",
+    "TimerKernel",
+    "account_chunk",
+    "chunk_kernel_for",
+    "encode_flow_keys",
+    "fast_aggregate_trace",
+    "iter_trace_chunks",
+    "observe_chunk",
+    "run_monitor",
+]

@@ -1,0 +1,280 @@
+"""Chunk keep-mask kernels for the streaming selectors.
+
+Each kernel is a small dataclass holding exactly the O(1) state its
+per-packet counterpart in :mod:`repro.core.sampling.streaming` carries
+— a countdown counter, a bucket position and drawn offset, a timer
+deadline — plus one ``keep_mask`` method that consumes a whole chunk of
+arrival timestamps and returns the boolean keep/skip vector in O(chunk)
+numpy operations.  Offering the same arrivals chunk by chunk (any
+chunking, including size-1 chunks) produces bit-identical decisions to
+calling ``offer`` per packet, and leaves the kernel in the same state
+the streaming sampler would hold at that point of the stream.
+
+RNG discipline is preserved exactly: :class:`StratifiedKernel` draws
+its per-bucket offsets with one vectorized ``Generator.integers`` call
+per chunk, which numpy guarantees consumes the bit stream identically
+to the per-bucket scalar draws of
+:class:`~repro.core.sampling.streaming.StreamingStratified` (pinned by
+``tests/fastpath/test_parity.py``).  The timer kernel advances its
+deadline with the very same float operations as the streaming rule, one
+step per *kept* packet, so accumulated rounding is identical too.
+
+Kernels are constructed either directly (mirroring the streaming
+constructors) or from a live streaming sampler via ``from_streaming``,
+which adopts its current state — including the stratified sampler's
+construction-time offset draw and its ``Generator`` — so a pipeline can
+switch between paths mid-stream without losing identity.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.sampling.base import require_rng
+from repro.core.sampling.streaming import (
+    StreamingSampler,
+    StreamingStratified,
+    StreamingSystematic,
+    StreamingTimerSystematic,
+)
+
+
+def _as_timestamps(timestamps_us: "np.ndarray") -> "np.ndarray":
+    arr = np.asarray(timestamps_us, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError("timestamps must be one-dimensional")
+    return arr
+
+
+class ChunkSelector:
+    """Interface: one keep-mask per offered chunk of arrivals."""
+
+    def keep_mask(self, timestamps_us: "np.ndarray") -> "np.ndarray":
+        """Boolean keep/skip vector for a chunk of arrival times.
+
+        Calling this repeatedly over consecutive chunks reproduces the
+        per-packet ``offer`` stream bit for bit, for any chunking.
+        """
+        raise NotImplementedError
+
+
+@dataclass
+class SystematicKernel(ChunkSelector):
+    """Counter-based every-k-th selection, chunk at a time.
+
+    State is the countdown to the next keep — the same single integer
+    :class:`~repro.core.sampling.streaming.StreamingSystematic` holds;
+    a chunk of ``n`` packets keeps local positions ``countdown,
+    countdown + k, ...`` and advances the countdown by ``n`` modulo
+    ``k``.
+    """
+
+    granularity: int
+    countdown: int = 0
+
+    def __post_init__(self) -> None:
+        if self.granularity < 1:
+            raise ValueError(
+                "granularity must be >= 1, got %d" % self.granularity
+            )
+        if not 0 <= self.countdown < self.granularity:
+            raise ValueError(
+                "countdown must be in [0, %d), got %d"
+                % (self.granularity, self.countdown)
+            )
+
+    @classmethod
+    def start(cls, granularity: int, phase: int = 0) -> "SystematicKernel":
+        """The kernel equivalent of ``StreamingSystematic(k, phase)``."""
+        return cls(granularity=granularity, countdown=phase)
+
+    @classmethod
+    def from_streaming(
+        cls, sampler: StreamingSystematic
+    ) -> "SystematicKernel":
+        """Adopt a live streaming sampler's counter state."""
+        return cls(
+            granularity=sampler.granularity, countdown=sampler._countdown
+        )
+
+    def keep_mask(self, timestamps_us: "np.ndarray") -> "np.ndarray":
+        arrivals = _as_timestamps(timestamps_us)
+        n = arrivals.size
+        mask = np.zeros(n, dtype=bool)
+        if n == 0:
+            return mask
+        mask[self.countdown :: self.granularity] = True
+        self.countdown = (self.countdown - n) % self.granularity
+        return mask
+
+
+@dataclass
+class StratifiedKernel(ChunkSelector):
+    """One uniformly random keep per k-packet bucket, chunk at a time.
+
+    State is the position within the current bucket and the offset
+    drawn for it.  A chunk completes ``(position + n) // k`` buckets;
+    their offsets are drawn with one vectorized ``integers`` call that
+    consumes the generator identically to the streaming sampler's
+    per-bucket scalar draws, so the RNG stream — and therefore every
+    later decision — stays bit-identical under any chunking.
+    """
+
+    granularity: int
+    rng: np.random.Generator
+    position: int = 0
+    keep_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.granularity < 1:
+            raise ValueError(
+                "granularity must be >= 1, got %d" % self.granularity
+            )
+
+    @classmethod
+    def start(
+        cls, granularity: int, rng: Optional[np.random.Generator] = None
+    ) -> "StratifiedKernel":
+        """The kernel equivalent of ``StreamingStratified(k, rng)``.
+
+        Draws the first bucket's offset at construction, exactly as the
+        streaming sampler does, so both consume the generator alike.
+        """
+        if granularity < 1:
+            raise ValueError(
+                "granularity must be >= 1, got %d" % granularity
+            )
+        generator = require_rng(rng)
+        return cls(
+            granularity=granularity,
+            rng=generator,
+            position=0,
+            keep_offset=int(generator.integers(0, granularity)),
+        )
+
+    @classmethod
+    def from_streaming(
+        cls, sampler: StreamingStratified
+    ) -> "StratifiedKernel":
+        """Adopt a live streaming sampler's bucket state and generator."""
+        return cls(
+            granularity=sampler.granularity,
+            rng=sampler._rng,
+            position=sampler._position,
+            keep_offset=sampler._keep_offset,
+        )
+
+    def keep_mask(self, timestamps_us: "np.ndarray") -> "np.ndarray":
+        arrivals = _as_timestamps(timestamps_us)
+        n = arrivals.size
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        k = self.granularity
+        position = self.position
+        completions = (position + n) // k
+        # offsets[j] is bucket j's keep position, bucket 0 being the
+        # (possibly partial) bucket in progress at chunk start; each
+        # completed bucket's wrap draws the next bucket's offset.
+        offsets = np.empty(completions + 1, dtype=np.int64)
+        offsets[0] = self.keep_offset
+        if completions:
+            draws = self.rng.integers(0, k, size=completions)
+            offsets[1:] = draws
+            self.keep_offset = int(draws[-1])
+        local = position + np.arange(n, dtype=np.int64)
+        mask = np.asarray((local % k) == offsets[local // k])
+        self.position = (position + n) % k
+        return mask
+
+
+@dataclass
+class TimerKernel(ChunkSelector):
+    """Periodic timer with the paper's next-arrival rule, per chunk.
+
+    State is the next scheduled firing (``None`` until the first
+    arrival arms the timer).  The keep set of a chunk is found by
+    binary-searching each armed firing's next arrival; the deadline is
+    advanced with the streaming rule's own float arithmetic — one
+    fused ``(periods_behind + 1) * period`` step per kept packet — so
+    accumulated rounding matches the per-packet path bit for bit.  The
+    loop runs once per *kept* packet (~n/k times), not per packet.
+    """
+
+    period_us: float
+    phase_us: float = 0.0
+    next_firing: Optional[float] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.period_us <= 0:
+            raise ValueError("timer period must be positive")
+        if not 0.0 <= self.phase_us < self.period_us:
+            raise ValueError("phase must be in [0, period)")
+        self.period_us = float(self.period_us)
+        self.phase_us = float(self.phase_us)
+
+    @classmethod
+    def start(cls, period_us: float, phase_us: float = 0.0) -> "TimerKernel":
+        """The kernel equivalent of ``StreamingTimerSystematic``."""
+        return cls(period_us=period_us, phase_us=phase_us)
+
+    @classmethod
+    def from_streaming(
+        cls, sampler: StreamingTimerSystematic
+    ) -> "TimerKernel":
+        """Adopt a live streaming sampler's timer state."""
+        return cls(
+            period_us=sampler.period_us,
+            phase_us=sampler.phase_us,
+            next_firing=sampler._next_firing,
+        )
+
+    def keep_mask(self, timestamps_us: "np.ndarray") -> "np.ndarray":
+        arrivals = _as_timestamps(timestamps_us)
+        n = arrivals.size
+        mask = np.zeros(n, dtype=bool)
+        if n == 0:
+            return mask
+        if self.next_firing is None:
+            self.next_firing = int(arrivals[0]) + self.phase_us
+        deadline = self.next_firing
+        period = self.period_us
+        start = 0
+        while True:
+            index = int(
+                np.searchsorted(arrivals[start:], deadline, side="left")
+            )
+            if index >= n - start:
+                break
+            index += start
+            mask[index] = True
+            kept_at = int(arrivals[index])
+            periods_behind = (kept_at - deadline) // period
+            deadline += (periods_behind + 1) * period
+            start = index + 1
+        self.next_firing = deadline
+        return mask
+
+
+#: Streaming sampler types with a chunk kernel counterpart.
+_KERNELS = {
+    StreamingSystematic: SystematicKernel.from_streaming,
+    StreamingStratified: StratifiedKernel.from_streaming,
+    StreamingTimerSystematic: TimerKernel.from_streaming,
+}
+
+AnyKernel = Union[SystematicKernel, StratifiedKernel, TimerKernel]
+
+
+def chunk_kernel_for(sampler: StreamingSampler) -> Optional[ChunkSelector]:
+    """The chunk kernel adopting ``sampler``'s current state, if any.
+
+    Returns ``None`` for streaming samplers without a chunk counterpart
+    (the reservoir, whose past-revising semantics have no fixed
+    keep/skip stream to vectorize) so callers can fall back to the
+    per-packet path.
+    """
+    factory = _KERNELS.get(type(sampler))
+    if factory is None:
+        return None
+    return factory(sampler)  # type: ignore[operator]

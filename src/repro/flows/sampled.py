@@ -25,7 +25,7 @@ Two entry points mirror the repo's batch/streaming split:
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,6 +39,12 @@ from repro.trace.trace import Trace
 #: One side of the accountant's hot path: the table, its record sink,
 #: and the pre-resolved metrics (occupancy, peak, exported, evicted).
 _Side = Tuple[FlowTable, List[FlowRecord], Gauge, Gauge, Counter, Counter]
+
+#: A trace-to-records aggregation: the seam the vectorized fast path
+#: (:func:`repro.fastpath.flows.fast_aggregate_trace`) plugs into.
+#: Must return the same records in the same order as
+#: :func:`~repro.flows.table.aggregate_trace` on a fresh default table.
+Aggregate = Callable[[Trace], List[FlowRecord]]
 
 #: Flow sizes (packets per flow) are compared over geometric bins —
 #: flow-size distributions are heavy-tailed, so equal-width bins would
@@ -96,9 +102,20 @@ class FlowSet:
 
 
 def parent_flows(
-    trace: Trace, table: Optional[FlowTable] = None
+    trace: Trace,
+    table: Optional[FlowTable] = None,
+    aggregate: Optional[Aggregate] = None,
 ) -> FlowSet:
-    """The ground-truth flow population of a trace."""
+    """The ground-truth flow population of a trace.
+
+    ``aggregate`` swaps the per-packet aggregation for an equivalent
+    one (the chunked fast path); it is mutually exclusive with
+    ``table`` since a custom aggregation brings its own.
+    """
+    if aggregate is not None:
+        if table is not None:
+            raise ValueError("pass either table or aggregate, not both")
+        return FlowSet(records=tuple(aggregate(trace)))
     return FlowSet(records=tuple(aggregate_trace(trace, table=table)))
 
 
@@ -106,6 +123,7 @@ def sampled_flows(
     trace: Trace,
     result: SamplingResult,
     table: Optional[FlowTable] = None,
+    aggregate: Optional[Aggregate] = None,
 ) -> FlowSet:
     """The flow population a monitor sees through a drawn sample.
 
@@ -113,8 +131,13 @@ def sampled_flows(
     keep their parent values, so flow timeouts behave exactly as they
     would in a monitor receiving the thinned stream.
     """
+    sampled_trace = result.apply(trace)
+    if aggregate is not None:
+        if table is not None:
+            raise ValueError("pass either table or aggregate, not both")
+        return FlowSet(records=tuple(aggregate(sampled_trace)))
     return FlowSet(
-        records=tuple(aggregate_trace(result.apply(trace), table=table))
+        records=tuple(aggregate_trace(sampled_trace, table=table))
     )
 
 
@@ -151,6 +174,7 @@ def flow_study(
     trace: Trace,
     sampler: Sampler,
     rng: Optional[np.random.Generator] = None,
+    aggregate: Optional[Aggregate] = None,
 ) -> FlowStudy:
     """Draw one sample and aggregate both flow populations.
 
@@ -158,13 +182,18 @@ def flow_study(
     :meth:`~repro.core.sampling.base.Sampler.sample` path, so the
     selected indices are bit-identical to what the evaluation harness
     would draw from the same RNG — flow accounting is strictly
-    downstream of selection.
+    downstream of selection, and an ``aggregate`` override (the
+    vectorized fast path) cannot perturb the draw.
     """
     result = sampler.sample(trace, rng=rng)
-    return study_from_result(trace, result)
+    return study_from_result(trace, result, aggregate=aggregate)
 
 
-def study_from_result(trace: Trace, result: SamplingResult) -> FlowStudy:
+def study_from_result(
+    trace: Trace,
+    result: SamplingResult,
+    aggregate: Optional[Aggregate] = None,
+) -> FlowStudy:
     """Aggregate both populations for an already-drawn sample."""
     granularity = float(result.parameters.get("granularity", 0.0))
     if granularity <= 0.0 and result.fraction > 0.0:
@@ -173,8 +202,8 @@ def study_from_result(trace: Trace, result: SamplingResult) -> FlowStudy:
         method=result.method,
         granularity=granularity,
         fraction=result.fraction,
-        parent=parent_flows(trace),
-        sampled=sampled_flows(trace, result),
+        parent=parent_flows(trace, aggregate=aggregate),
+        sampled=sampled_flows(trace, result, aggregate=aggregate),
     )
 
 

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.sampling.streaming import (
     StreamingReservoir,
+    StreamingSampler,
     StreamingStratified,
     StreamingSystematic,
     StreamingTimerSystematic,
@@ -153,3 +154,53 @@ class TestReservoir:
     def test_validation(self):
         with pytest.raises(ValueError):
             StreamingReservoir(capacity=0)
+
+
+class TestStreamingInterface:
+    """Every streaming sampler honours the StreamingSampler contract.
+
+    Regression for the reservoir once not subclassing
+    :class:`StreamingSampler` and returning ``None`` from ``offer`` —
+    an LSP break that made polymorphic pipeline code treat every
+    reservoir admission as a skip.
+    """
+
+    def make_all(self):
+        rng = np.random.default_rng(17)
+        return [
+            StreamingSystematic(granularity=5),
+            StreamingStratified(granularity=5, rng=rng),
+            StreamingTimerSystematic(period_us=1000.0),
+            StreamingReservoir(capacity=5, rng=rng),
+        ]
+
+    def test_all_subclass_streaming_sampler(self):
+        for sampler in self.make_all():
+            assert isinstance(sampler, StreamingSampler)
+
+    def test_offer_returns_bool(self):
+        for sampler in self.make_all():
+            for i in range(50):
+                verdict = sampler.offer(i * 100)
+                assert isinstance(verdict, bool), type(sampler).__name__
+
+    def test_offer_all_returns_positions(self):
+        for sampler in self.make_all():
+            positions = sampler.offer_all(np.arange(100) * 100)
+            assert positions.dtype == np.int64
+            assert np.all(np.diff(positions) > 0)
+            assert positions.size > 0
+
+    def test_reservoir_offer_reports_admission(self):
+        reservoir = StreamingReservoir(capacity=3, rng=np.random.default_rng(8))
+        # Below capacity every offer admits.
+        assert [reservoir.offer(i) for i in range(3)] == [True, True, True]
+        # At capacity, True iff the packet displaced an earlier pick:
+        # the admitted position must now be in the reservoir.
+        admissions = 0
+        for i in range(3, 200):
+            if reservoir.offer(i * 10):
+                admissions += 1
+                assert i in reservoir.positions()
+        # Displacement happens with probability n/seen: some but not all.
+        assert 0 < admissions < 197

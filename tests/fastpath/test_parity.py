@@ -1,0 +1,263 @@
+"""Differential parity battery: chunk kernels vs per-packet offer().
+
+The fast path's contract is *bit identity*: for every selector, any
+chunking of the arrival stream (size-1 chunks, one whole-trace chunk,
+arbitrary ragged splits) must produce exactly the keep/skip stream the
+per-packet streaming sampler produces, and leave the kernel holding the
+same state.  Hypothesis drives the chunking-invariance properties;
+fixed cases pin the boundary placements that historically break
+chunked reimplementations (chunk edge on a bucket edge, timer firing
+exactly at a chunk's first arrival, empty chunks).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling.streaming import (
+    StreamingReservoir,
+    StreamingStratified,
+    StreamingSystematic,
+    StreamingTimerSystematic,
+)
+from repro.core.sampling.systematic import SystematicSampler
+from repro.core.sampling.timer import TimerSystematicSampler
+from repro.fastpath import (
+    StratifiedKernel,
+    SystematicKernel,
+    TimerKernel,
+    chunk_kernel_for,
+)
+from repro.trace.trace import Trace
+
+KINDS = ("systematic", "stratified", "timer")
+
+
+def make_streaming(kind: str, seed: int = 0):
+    if kind == "systematic":
+        return StreamingSystematic(granularity=17, phase=5)
+    if kind == "stratified":
+        return StreamingStratified(
+            granularity=13, rng=np.random.default_rng(seed)
+        )
+    return StreamingTimerSystematic(period_us=3250.0, phase_us=40.0)
+
+
+def arrivals(n: int, seed: int = 0) -> np.ndarray:
+    """Non-decreasing arrival times with bursts (zero gaps) and lulls."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.integers(0, 5000, size=n)
+    return np.cumsum(gaps).astype(np.int64)
+
+
+def split(ts: np.ndarray, chunk_sizes) -> list:
+    """Split ``ts`` into consecutive chunks; remainder as a final one."""
+    chunks, start = [], 0
+    for size in chunk_sizes:
+        chunks.append(ts[start : start + size])
+        start += size
+        if start >= len(ts):
+            break
+    if start < len(ts):
+        chunks.append(ts[start:])
+    return chunks
+
+
+def offer_decisions(sampler, ts: np.ndarray) -> np.ndarray:
+    return np.asarray([sampler.offer(int(t)) for t in ts], dtype=bool)
+
+
+def kernel_decisions(kernel, ts: np.ndarray, chunk_sizes) -> np.ndarray:
+    parts = [kernel.keep_mask(chunk) for chunk in split(ts, chunk_sizes)]
+    if not parts:
+        return np.zeros(0, dtype=bool)
+    return np.concatenate(parts)
+
+
+def assert_same_state(kind: str, sampler, kernel) -> None:
+    """The kernel must hold the streaming sampler's exact state."""
+    if kind == "systematic":
+        assert kernel.countdown == sampler._countdown
+    elif kind == "stratified":
+        assert kernel.position == sampler._position
+        assert kernel.keep_offset == sampler._keep_offset
+        # Both generators must have consumed the same bit stream.
+        probe = int(kernel.rng.integers(0, 1 << 30))
+        assert probe == int(sampler._rng.integers(0, 1 << 30))
+    else:
+        assert kernel.next_firing == sampler._next_firing
+
+
+class TestChunkingInvariance:
+    """Any chunking == per-packet, for every selector."""
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=600),
+        seed=st.integers(min_value=0, max_value=10_000),
+        chunk_sizes=st.lists(
+            st.integers(min_value=0, max_value=97), max_size=40
+        ),
+    )
+    def test_ragged_chunks_match_offer(self, kind, n, seed, chunk_sizes):
+        ts = arrivals(n, seed)
+        reference = make_streaming(kind, seed=seed)
+        subject = make_streaming(kind, seed=seed)
+        kernel = chunk_kernel_for(subject)
+        expected = offer_decisions(reference, ts)
+        actual = kernel_decisions(kernel, ts, chunk_sizes)
+        assert np.array_equal(actual, expected)
+        assert_same_state(kind, reference, kernel)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_size_one_chunks(self, kind):
+        ts = arrivals(257, seed=3)
+        reference = make_streaming(kind, seed=3)
+        subject = make_streaming(kind, seed=3)
+        kernel = chunk_kernel_for(subject)
+        expected = offer_decisions(reference, ts)
+        actual = kernel_decisions(kernel, ts, [1] * len(ts))
+        assert np.array_equal(actual, expected)
+        assert_same_state(kind, reference, kernel)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_single_whole_stream_chunk(self, kind):
+        ts = arrivals(400, seed=4)
+        reference = make_streaming(kind, seed=4)
+        subject = make_streaming(kind, seed=4)
+        kernel = chunk_kernel_for(subject)
+        expected = offer_decisions(reference, ts)
+        actual = np.asarray(kernel.keep_mask(ts))
+        assert np.array_equal(actual, expected)
+        assert_same_state(kind, reference, kernel)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_empty_chunks_are_inert(self, kind):
+        ts = arrivals(60, seed=5)
+        reference = make_streaming(kind, seed=5)
+        subject = make_streaming(kind, seed=5)
+        kernel = chunk_kernel_for(subject)
+        expected = offer_decisions(reference, ts)
+        actual = kernel_decisions(
+            kernel, ts, [0, 20, 0, 0, 20, 0, 20, 0]
+        )
+        assert np.array_equal(actual, expected)
+        assert_same_state(kind, reference, kernel)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_minute_trace_chunked(self, kind, minute_trace):
+        ts = minute_trace.timestamps_us
+        reference = make_streaming(kind, seed=9)
+        subject = make_streaming(kind, seed=9)
+        kernel = chunk_kernel_for(subject)
+        expected = offer_decisions(reference, ts)
+        actual = kernel_decisions(kernel, ts, [4096] * 10)
+        assert np.array_equal(actual, expected)
+        assert_same_state(kind, reference, kernel)
+
+
+class TestBoundaryPlacements:
+    """Chunk edges landing exactly on selector-internal edges."""
+
+    def test_systematic_chunk_edge_on_keep(self):
+        # Chunks of exactly k packets: every chunk keeps its first slot.
+        kernel = SystematicKernel.start(granularity=8, phase=0)
+        ts = arrivals(64, seed=1)
+        for chunk in split(ts, [8] * 8):
+            mask = kernel.keep_mask(chunk)
+            assert mask[0] and mask.sum() == 1
+
+    def test_stratified_chunk_edge_on_bucket_edge(self):
+        k = 10
+        reference = StreamingStratified(k, rng=np.random.default_rng(7))
+        kernel = StratifiedKernel.start(k, rng=np.random.default_rng(7))
+        ts = arrivals(120, seed=7)
+        expected = offer_decisions(reference, ts)
+        actual = kernel_decisions(kernel, ts, [k] * 12)
+        assert np.array_equal(actual, expected)
+        # Exactly one keep per complete bucket.
+        assert actual.reshape(12, k).sum(axis=1).tolist() == [1] * 12
+
+    def test_timer_firing_at_chunk_first_arrival(self):
+        # Deadline falls exactly on the first arrival of chunk 2.
+        kernel = TimerKernel.start(period_us=1000.0)
+        reference = StreamingTimerSystematic(period_us=1000.0)
+        ts = np.asarray([0, 400, 800, 1000, 1400, 2000], dtype=np.int64)
+        expected = offer_decisions(reference, ts)
+        actual = kernel_decisions(kernel, ts, [3, 3])
+        assert np.array_equal(actual, expected)
+        assert kernel.next_firing == reference._next_firing
+
+    def test_timer_long_silence_collapses_to_one_keep(self):
+        kernel = TimerKernel.start(period_us=100.0)
+        reference = StreamingTimerSystematic(period_us=100.0)
+        ts = np.asarray([0, 50, 1_000_000, 1_000_010], dtype=np.int64)
+        expected = offer_decisions(reference, ts)
+        actual = kernel_decisions(kernel, ts, [2])
+        assert np.array_equal(actual, expected)
+        assert kernel.next_firing == reference._next_firing
+
+
+class TestBatchAgreement:
+    """fastpath == streaming == batch where batch equivalence exists.
+
+    The batch stratified sampler draws with a different RNG discipline
+    (``random() * size`` per bucket), so bit-equality with the
+    streaming/fastpath pair is only defined for systematic and timer;
+    stratified parity is pinned against streaming above.
+    """
+
+    def test_systematic_three_way(self, minute_trace):
+        k, phase = 50, 7
+        batch = SystematicSampler(granularity=k, phase=phase).sample_indices(
+            minute_trace
+        )
+        kernel = SystematicKernel.start(granularity=k, phase=phase)
+        mask = kernel_decisions(
+            kernel, minute_trace.timestamps_us, [3000] * 9
+        )
+        assert np.array_equal(np.flatnonzero(mask), batch)
+
+    def test_timer_three_way(self, minute_trace):
+        period = 40_000.0
+        batch = TimerSystematicSampler(period_us=period).sample_indices(
+            minute_trace
+        )
+        kernel = TimerKernel.start(period_us=period)
+        mask = kernel_decisions(
+            kernel, minute_trace.timestamps_us, [1000] * 30
+        )
+        assert np.array_equal(np.flatnonzero(mask), batch)
+
+
+class TestKernelFactory:
+    def test_adopts_mid_stream_state(self):
+        # Offer half the stream per packet, hand over to the kernel,
+        # finish chunked: the joint decision stream must match a pure
+        # per-packet run.
+        ts = arrivals(200, seed=11)
+        for kind in KINDS:
+            reference = make_streaming(kind, seed=11)
+            subject = make_streaming(kind, seed=11)
+            expected = offer_decisions(reference, ts)
+            head = offer_decisions(subject, ts[:100])
+            kernel = chunk_kernel_for(subject)
+            tail = kernel_decisions(kernel, ts[100:], [7] * 20)
+            assert np.array_equal(np.concatenate([head, tail]), expected)
+
+    def test_reservoir_has_no_kernel(self):
+        assert chunk_kernel_for(StreamingReservoir(capacity=5)) is None
+
+    def test_validation_mirrors_streaming(self):
+        with pytest.raises(ValueError):
+            SystematicKernel.start(granularity=0)
+        with pytest.raises(ValueError):
+            SystematicKernel(granularity=5, countdown=5)
+        with pytest.raises(ValueError):
+            StratifiedKernel.start(granularity=0)
+        with pytest.raises(ValueError):
+            TimerKernel.start(period_us=0.0)
+        with pytest.raises(ValueError):
+            TimerKernel.start(period_us=10.0, phase_us=10.0)

@@ -1,0 +1,107 @@
+"""iter_pcap chunk-boundary edges: the fast path's ingest contract.
+
+The chunked pipeline (:mod:`repro.fastpath`) consumes ``iter_pcap``
+chunks directly, so the reader's boundary behaviour — size-1 chunks,
+chunks bigger than the file, truncated final records, empty captures —
+is part of the bit-identity surface and is pinned here.
+"""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.pcap import PcapError, iter_pcap, read_pcap, write_pcap
+from repro.trace.trace import Trace
+
+
+def pcap_bytes(trace: Trace) -> bytes:
+    buffer = io.BytesIO()
+    write_pcap(trace, buffer)
+    return buffer.getvalue()
+
+
+class TestBoundaryPlacements:
+    def test_chunk_size_one(self, tiny_trace):
+        data = pcap_bytes(tiny_trace)
+        chunks = list(iter_pcap(io.BytesIO(data), chunk_packets=1))
+        assert [len(c) for c in chunks] == [1] * len(tiny_trace)
+        assert Trace.concat(chunks) == tiny_trace
+
+    def test_chunk_larger_than_file(self, tiny_trace):
+        data = pcap_bytes(tiny_trace)
+        chunks = list(iter_pcap(io.BytesIO(data), chunk_packets=10**9))
+        assert len(chunks) == 1
+        assert chunks[0] == tiny_trace
+
+    def test_chunk_exactly_file_size(self, tiny_trace):
+        data = pcap_bytes(tiny_trace)
+        chunks = list(
+            iter_pcap(io.BytesIO(data), chunk_packets=len(tiny_trace))
+        )
+        assert len(chunks) == 1
+        assert chunks[0] == tiny_trace
+
+    def test_empty_pcap_any_chunk_size(self):
+        data = pcap_bytes(Trace.empty())
+        for chunk_packets in (1, 7, 10**9):
+            assert list(
+                iter_pcap(io.BytesIO(data), chunk_packets=chunk_packets)
+            ) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(chunk_packets=st.integers(min_value=1, max_value=60))
+    def test_reassembly_matches_read_pcap(self, chunk_packets, minute_trace):
+        subset = minute_trace.slice_packets(0, 500)
+        data = pcap_bytes(subset)
+        chunks = list(
+            iter_pcap(io.BytesIO(data), chunk_packets=chunk_packets)
+        )
+        assert all(len(c) <= chunk_packets for c in chunks)
+        assert Trace.concat(chunks) == read_pcap(io.BytesIO(data))
+
+
+class TestTruncatedFinalRecord:
+    def test_truncated_record_header_raises(self):
+        trace = Trace(timestamps_us=[0, 1000], sizes=[40, 40])
+        data = pcap_bytes(trace)
+        # Global header is 24 bytes, each record 16 + 40; clip into the
+        # second record's 16-byte header.
+        clipped = data[: 24 + 56 + 8]
+        with pytest.raises(PcapError, match="truncated"):
+            list(iter_pcap(io.BytesIO(clipped), chunk_packets=1))
+
+    def test_truncated_record_payload_raises(self, tiny_trace):
+        data = pcap_bytes(tiny_trace)
+        clipped = data[:-5]  # mid-payload of the final record
+        with pytest.raises(PcapError):
+            list(iter_pcap(io.BytesIO(clipped), chunk_packets=3))
+
+    def test_complete_chunks_delivered_before_truncation(self, tiny_trace):
+        # A streaming consumer gets every complete chunk before the
+        # truncated final record surfaces as an error.
+        data = pcap_bytes(tiny_trace)
+        clipped = data[:-5]
+        iterator = iter_pcap(io.BytesIO(clipped), chunk_packets=3)
+        delivered = []
+        with pytest.raises(PcapError):
+            for chunk in iterator:
+                delivered.append(chunk)
+        assert len(delivered) == 3  # 9 complete packets of 10
+        assert Trace.concat(delivered) == tiny_trace.slice_packets(0, 9)
+
+    def test_truncated_global_header_raises(self, tiny_trace):
+        data = pcap_bytes(tiny_trace)[:12]
+        with pytest.raises(PcapError):
+            list(iter_pcap(io.BytesIO(data)))
+
+    def test_record_below_ip_header_raises(self):
+        # A record claiming fewer captured bytes than an IPv4 header.
+        data = pcap_bytes(Trace(timestamps_us=[0], sizes=[40]))
+        header, record = data[:24], bytearray(data[24:40])
+        ts_sec, ts_usec, _incl, orig = struct.unpack("<IIII", record)
+        bad = header + struct.pack("<IIII", ts_sec, ts_usec, 8, orig) + data[40:48]
+        with pytest.raises(PcapError, match="below IP header"):
+            list(iter_pcap(io.BytesIO(bad)))
