@@ -1,0 +1,169 @@
+"""Append benchmark records to a rolling history and summarize deltas.
+
+Usage::
+
+    python benchmarks/bench_trend.py \
+        --history bench_history/history.jsonl \
+        --baseline benchmarks/baseline.json \
+        --summary "$GITHUB_STEP_SUMMARY" \
+        benchmarks/bench_*.json
+
+The history file is JSON-lines, one object per benchmark per run
+(run number, commit, UTC timestamp, and the flattened ``wall_s``
+metrics), carried between CI builds by an ``actions/cache`` entry and
+published as the ``bench-history`` artifact — download it to plot any
+metric over time.
+
+The summary is a per-benchmark markdown table of current wall-clock
+against the committed baseline (the same numbers the regression gate
+judges, as deltas rather than verdicts).  This script is informational
+by design: it never fails the build — ``check_regression.py`` is the
+gate — and missing record files are reported, not fatal, so a partial
+bench run still appends what it produced.
+
+Exit status 0 always.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def flatten_wall(record):
+    """``wall_s`` as a flat {metric: seconds} dict (one nesting level)."""
+    wall = record.get("wall_s")
+    if not isinstance(wall, dict):
+        return {}
+    flat = {}
+    for key, value in wall.items():
+        if isinstance(value, dict):
+            for sub, seconds in value.items():
+                flat["%s/%s" % (key, sub)] = float(seconds)
+        else:
+            flat[key] = float(value)
+    return flat
+
+
+def load_records(paths):
+    """(benchmark name -> flat metrics, list of unreadable paths)."""
+    current = {}
+    skipped = []
+    for path in paths:
+        try:
+            with open(path) as stream:
+                record = json.load(stream)
+        except (OSError, ValueError) as error:
+            skipped.append("%s (%s)" % (path, error))
+            continue
+        name = record.get("benchmark") or os.path.basename(path)
+        current[name] = flatten_wall(record)
+    return current, skipped
+
+
+def append_history(path, current):
+    """One JSON line per benchmark; returns the entries written."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    run_number = os.environ.get("GITHUB_RUN_NUMBER", "")
+    sha = os.environ.get("GITHUB_SHA", "")[:10]
+    entries = []
+    with open(path, "a") as stream:
+        for name in sorted(current):
+            entry = {
+                "timestamp": stamp,
+                "run": run_number,
+                "sha": sha,
+                "benchmark": name,
+                "wall_s": current[name],
+            }
+            stream.write(json.dumps(entry, sort_keys=True))
+            stream.write("\n")
+            entries.append(entry)
+    return entries
+
+
+def delta_rows(baseline, current):
+    """(benchmark, metric, current, baseline, delta-%) rows, sorted."""
+    rows = []
+    for name in sorted(current):
+        budgets = baseline.get(name, {})
+        for metric in sorted(current[name]):
+            observed = current[name][metric]
+            budget = budgets.get(metric)
+            if budget:
+                delta = "%+.1f%%" % (100.0 * (observed - budget) / budget)
+            else:
+                delta = "(no baseline)"
+            rows.append((name, metric, observed, budget, delta))
+    return rows
+
+
+def render_markdown(rows, history_len, skipped):
+    lines = ["### Benchmark trend", ""]
+    lines.append("| benchmark | metric | current (s) | baseline (s) | delta |")
+    lines.append("| --- | --- | ---: | ---: | ---: |")
+    for name, metric, observed, budget, delta in rows:
+        lines.append(
+            "| %s | %s | %.3f | %s | %s |"
+            % (
+                name,
+                metric,
+                observed,
+                "%.3f" % budget if budget is not None else "—",
+                delta,
+            )
+        )
+    lines.append("")
+    lines.append("history now holds %d entries" % history_len)
+    for item in skipped:
+        lines.append("")
+        lines.append("missing record: %s" % item)
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--history", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--summary", default="")
+    parser.add_argument("records", nargs="+")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline) as stream:
+            baseline = json.load(stream)
+    except (OSError, ValueError) as error:
+        print("bench-trend: cannot read baseline: %s" % error, file=sys.stderr)
+        baseline = {}
+
+    current, skipped = load_records(args.records)
+    append_history(args.history, current)
+    with open(args.history) as stream:
+        history_len = sum(1 for line in stream if line.strip())
+
+    rows = delta_rows(baseline, current)
+    for name, metric, observed, budget, delta in rows:
+        print(
+            "%-20s %-24s %8.3fs  baseline %-8s %s"
+            % (
+                name,
+                metric,
+                observed,
+                "%.3fs" % budget if budget is not None else "—",
+                delta,
+            )
+        )
+    print("history: %d entries in %s" % (history_len, args.history))
+    for item in skipped:
+        print("bench-trend: skipped %s" % item, file=sys.stderr)
+
+    if args.summary:
+        with open(args.summary, "a") as stream:
+            stream.write(render_markdown(rows, history_len, skipped))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,10 @@ record contributes its ``wall_s`` entries (a flat dict of metric ->
 seconds, or nested one level as in the scaling record's per-worker
 map).  A metric regresses when current > factor * baseline; a metric
 present in the baseline but missing from the current records (or vice
-versa) is an error, so the gate cannot silently go stale.
+versa) is an error, so the gate cannot silently go stale.  A record
+file that is missing or unreadable is likewise a one-line FAIL, never
+a traceback: a deleted benchmark must fail the gate loudly until its
+baseline entry is retired with it.
 
 Exit status 0 when every metric is within budget, 1 otherwise.
 """
@@ -49,15 +52,22 @@ def main(argv=None):
         baseline = json.load(stream)
 
     current = {}
+    failures = []
     for path in args.records:
-        with open(path) as stream:
-            record = json.load(stream)
+        try:
+            with open(path) as stream:
+                record = json.load(stream)
+        except OSError as error:
+            failures.append("%s: record not readable (%s)" % (path, error))
+            continue
+        except ValueError as error:
+            failures.append("%s: record is not valid JSON (%s)" % (path, error))
+            continue
         name = record.get("benchmark")
         if not name:
-            raise SystemExit("%s: record has no 'benchmark' field" % path)
+            failures.append("%s: record has no 'benchmark' field" % path)
+            continue
         current[name] = flatten_wall(record)
-
-    failures = []
     for name, metrics in sorted(baseline.items()):
         if name not in current:
             failures.append("baseline benchmark %r was not run" % name)

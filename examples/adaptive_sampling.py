@@ -1,0 +1,135 @@
+"""Closed-loop adaptive sampling: holding quality while load swings.
+
+The paper fixes the sampling fraction offline (the T3 backbone ran
+1-in-50 around the clock) and Section 5 measures what each static rate
+costs in characterization accuracy.  This example closes that loop at
+runtime with :mod:`repro.adaptive`: a controller watches the live
+quality monitor's per-window φ and walks the granularity along the
+power-of-two grid — finer when a window breaches tolerance, coarser
+when there is headroom — so quiet periods get the samples they need
+and busy periods stop paying for samples they don't.
+
+The demo traffic is a three-regime "day in miniature": quiet dawn,
+normal morning, a busy burst, and back — the rate swings ~25x, which
+is exactly the situation a static rate cannot serve well at both ends.
+"""
+
+import numpy as np
+
+from repro.adaptive import (
+    AccuracyFirstPolicy,
+    AdaptiveController,
+    ControllerConfig,
+    StaticPolicy,
+    run_adaptive,
+)
+from repro.trace.trace import Trace
+
+#: Per-regime (seconds, packets/sec, size spectrum weights) blocks.
+#: Sizes use the paper's characteristic points of the spectrum; the
+#: busy regime is bulk-transfer-heavy, the quiet one interactive.
+SIZES = np.array([40, 64, 128, 552, 576, 1500])
+REGIMES = (
+    ("quiet", 150, 100, (0.45, 0.20, 0.15, 0.10, 0.05, 0.05)),
+    ("normal", 150, 500, (0.30, 0.15, 0.15, 0.20, 0.10, 0.10)),
+    ("busy", 150, 2500, (0.15, 0.10, 0.10, 0.30, 0.15, 0.20)),
+    ("normal", 150, 500, (0.30, 0.15, 0.15, 0.20, 0.10, 0.10)),
+    ("quiet", 150, 100, (0.45, 0.20, 0.15, 0.10, 0.05, 0.05)),
+    ("busy", 150, 2500, (0.15, 0.10, 0.10, 0.30, 0.15, 0.20)),
+)
+
+
+def bursty_trace(seed: int = 20) -> Trace:
+    """A deterministic trace whose offered rate swings ~25x."""
+    rng = np.random.default_rng(seed)
+    timestamps = []
+    sizes = []
+    start_us = 0
+    for _, seconds, pps, weights in REGIMES:
+        n = int(seconds * pps)
+        gaps = rng.exponential(1e6 / pps, size=n)
+        # Rescale so the block exactly tiles its interval: arrivals stay
+        # Poisson-like within the regime and monotone across regimes.
+        arrivals = start_us + np.cumsum(gaps) * (seconds * 1e6 / gaps.sum())
+        timestamps.append(arrivals)
+        sizes.append(rng.choice(SIZES, size=n, p=weights))
+        start_us += seconds * 1_000_000
+    return Trace(
+        timestamps_us=np.concatenate(timestamps).astype(np.int64),
+        sizes=np.concatenate(sizes).astype(np.int32),
+    )
+
+
+def one_run(trace: Trace, policy, initial: int, seed: int = 0):
+    controller = AdaptiveController(
+        policy,
+        ControllerConfig(
+            initial_granularity=initial,
+            step_finer_windows=2,
+            step_coarser_windows=2,
+            cooldown_windows=1,
+            seed=seed,
+        ),
+    )
+    return run_adaptive(
+        trace, controller, window_us=10_000_000, min_scored=2
+    )
+
+
+def main() -> None:
+    trace = bursty_trace()
+    print(
+        "closed-loop adaptive sampling over a %d-packet, %.0f-minute "
+        "trace (rate swings %dx)"
+        % (len(trace), trace.duration_us / 60e6, 2500 // 100)
+    )
+    print()
+
+    adaptive = one_run(
+        trace, AccuracyFirstPolicy(phi_tol=0.12, headroom=0.4), initial=64
+    )
+    print("decision trace (rate changes only):")
+    for decision in adaptive.decisions:
+        if decision.applied:
+            print(
+                "  window %3d  t=%4ds  1/%-4d -> 1/%-4d  %s"
+                % (
+                    decision.window,
+                    decision.end_us // 1_000_000,
+                    decision.granularity_before,
+                    decision.granularity_after,
+                    decision.reason,
+                )
+            )
+    print()
+
+    print("%-14s %-28s %10s %12s" % ("policy", "rates used", "fraction", "mean phi"))
+    rows = [("adaptive 1/64", adaptive)]
+    for k in (16, 64, 256):
+        static = one_run(trace, StaticPolicy(), initial=k)
+        rows.append(("static 1/%d" % k, static))
+    for label, run in rows:
+        mean_phi = run.mean_phi("packet-size")
+        print(
+            "%-14s %-28s %10.5f %12s"
+            % (
+                label,
+                ",".join("1/%d" % k for k in run.granularities_used()),
+                run.sampled_fraction,
+                "%.4f" % mean_phi if mean_phi is not None else "(thin)",
+            )
+        )
+    print()
+    print(
+        "the controller spends samples where windows are starved and "
+        "saves them where they are wasted:"
+    )
+    print(
+        "  %d rate changes, final rate 1/%d, decision log is "
+        "bit-reproducible (replay it from events.jsonl)"
+        % (adaptive.rate_changes, adaptive.controller.granularity)
+    )
+
+
+if __name__ == "__main__":
+    main()

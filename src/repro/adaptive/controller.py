@@ -1,0 +1,240 @@
+"""The hysteresis state machine that turns proposals into rate changes.
+
+One :class:`AdaptiveController` instance owns the granularity: policies
+only *propose* a direction per closed window; the controller decides,
+and it is deliberately sluggish about it —
+
+* a step needs ``step_finer_windows`` (or ``step_coarser_windows``)
+  *consecutive* windows proposing the same direction before it fires;
+  the step-finer streak is short by default (quality loss is urgent),
+  the step-coarser streak longer (saving budget can wait for evidence);
+* every applied change starts a ``cooldown_windows``-window refractory
+  period during which nothing moves, bounding the oscillation
+  frequency: two changes are always more than ``cooldown_windows``
+  windows apart (a hypothesis property in ``tests/adaptive`` pins
+  this);
+* the walk is clamped to the configured slice of the power-of-two
+  grid.
+
+Every window produces exactly one :class:`Decision` — applied or not —
+appended to :attr:`AdaptiveController.decisions`.  The controller is a
+pure function of (config, policy, window stream): no clock, no RNG, no
+hidden state, so the decision log is bit-reproducible, and
+:meth:`~AdaptiveController.snapshot` / :meth:`~AdaptiveController.restore`
+serialize the five integers of live state for checkpoint/resume runs
+(``tests/adaptive`` pins resumed runs to uninterrupted ones).
+
+The ``seed`` in :class:`ControllerConfig` does not feed the controller
+itself; it is the root seed the drivers derive selector randomness from
+(the stratified re-key draws), recorded here so one value pins the
+whole run.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.adaptive.policy import (
+    COARSER,
+    FINER,
+    GRANULARITY_GRID,
+    RatePolicy,
+    snap_to_grid,
+)
+from repro.obs.live.monitor import WindowStats
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tuning knobs of the hysteresis state machine."""
+
+    initial_granularity: int = 64
+    min_granularity: int = 2
+    max_granularity: int = 32768
+    step_finer_windows: int = 1
+    step_coarser_windows: int = 3
+    cooldown_windows: int = 2
+    grid: Tuple[int, ...] = GRANULARITY_GRID
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise ValueError("granularity grid must be non-empty")
+        if list(self.grid) != sorted(set(self.grid)):
+            raise ValueError("grid must be strictly increasing")
+        if self.min_granularity > self.max_granularity:
+            raise ValueError("min granularity exceeds max")
+        if self.step_finer_windows < 1 or self.step_coarser_windows < 1:
+            raise ValueError("streak thresholds must be >= 1")
+        if self.cooldown_windows < 0:
+            raise ValueError("cooldown must be >= 0")
+        if not self.effective_grid():
+            raise ValueError(
+                "no grid granularity inside [%d, %d]"
+                % (self.min_granularity, self.max_granularity)
+            )
+
+    def effective_grid(self) -> Tuple[int, ...]:
+        """The grid restricted to the configured [min, max] slice."""
+        return tuple(
+            k
+            for k in self.grid
+            if self.min_granularity <= k <= self.max_granularity
+        )
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One window's controller verdict, applied or not."""
+
+    window: int
+    start_us: int
+    end_us: int
+    offered: int
+    sampled: int
+    policy: str
+    proposed: int
+    reason: str
+    applied: bool
+    granularity_before: int
+    granularity_after: int
+    cooldown_remaining: int
+
+    @property
+    def changed(self) -> bool:
+        return self.granularity_after != self.granularity_before
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-able record for the decision trace / events.jsonl."""
+        return {
+            "window": self.window,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "offered": self.offered,
+            "sampled": self.sampled,
+            "policy": self.policy,
+            "proposed": self.proposed,
+            "reason": self.reason,
+            "applied": self.applied,
+            "granularity_before": self.granularity_before,
+            "granularity_after": self.granularity_after,
+            "cooldown_remaining": self.cooldown_remaining,
+        }
+
+
+@dataclass
+class AdaptiveController:
+    """Walk the granularity grid under hysteresis and cooldown."""
+
+    policy: RatePolicy
+    config: ControllerConfig = field(default_factory=ControllerConfig)
+
+    def __post_init__(self) -> None:
+        self._grid = self.config.effective_grid()
+        initial = snap_to_grid(self.config.initial_granularity, self._grid)
+        self._index = self._grid.index(initial)
+        self._cooldown = 0
+        self._finer_streak = 0
+        self._coarser_streak = 0
+        self._windows_seen = 0
+        self.changes = 0
+        self.decisions: List[Decision] = []
+
+    # ------------------------------------------------------------------
+    # state
+
+    @property
+    def granularity(self) -> int:
+        """The granularity currently in force."""
+        return self._grid[self._index]
+
+    def snapshot(self) -> Dict[str, int]:
+        """The live state as five integers (for checkpoint/resume)."""
+        return {
+            "granularity_index": self._index,
+            "cooldown": self._cooldown,
+            "finer_streak": self._finer_streak,
+            "coarser_streak": self._coarser_streak,
+            "windows_seen": self._windows_seen,
+            "changes": self.changes,
+        }
+
+    def restore(self, state: Dict[str, int]) -> None:
+        """Resume from a :meth:`snapshot` (config must match)."""
+        index = int(state["granularity_index"])
+        if not 0 <= index < len(self._grid):
+            raise ValueError(
+                "granularity index %d outside grid of %d rates"
+                % (index, len(self._grid))
+            )
+        self._index = index
+        self._cooldown = int(state["cooldown"])
+        self._finer_streak = int(state["finer_streak"])
+        self._coarser_streak = int(state["coarser_streak"])
+        self._windows_seen = int(state["windows_seen"])
+        self.changes = int(state["changes"])
+
+    # ------------------------------------------------------------------
+    # the control step
+
+    def observe_window(self, stats: WindowStats) -> Decision:
+        """Judge one closed window; return the (possibly no-op) decision."""
+        proposal = self.policy.propose(stats, self.granularity)
+        if proposal.direction == FINER:
+            self._finer_streak += 1
+            self._coarser_streak = 0
+        elif proposal.direction == COARSER:
+            self._coarser_streak += 1
+            self._finer_streak = 0
+        else:
+            self._finer_streak = 0
+            self._coarser_streak = 0
+
+        before = self.granularity
+        applied = False
+        reason = proposal.reason
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            reason = "%s [cooldown]" % reason
+        else:
+            step = 0
+            if (
+                proposal.direction == FINER
+                and self._finer_streak >= self.config.step_finer_windows
+            ):
+                step = FINER
+            elif (
+                proposal.direction == COARSER
+                and self._coarser_streak >= self.config.step_coarser_windows
+            ):
+                step = COARSER
+            target = self._index + step
+            if step and 0 <= target < len(self._grid):
+                self._index = target
+                applied = True
+                self.changes += 1
+                self._cooldown = self.config.cooldown_windows
+                self._finer_streak = 0
+                self._coarser_streak = 0
+            elif step:
+                reason = "%s [at grid %s]" % (
+                    reason,
+                    "floor" if step == FINER else "ceiling",
+                )
+
+        decision = Decision(
+            window=stats.index,
+            start_us=stats.start_us,
+            end_us=stats.end_us,
+            offered=stats.offered,
+            sampled=stats.sampled,
+            policy=self.policy.name,
+            proposed=proposal.direction,
+            reason=reason,
+            applied=applied,
+            granularity_before=before,
+            granularity_after=self.granularity,
+            cooldown_remaining=self._cooldown,
+        )
+        self.decisions.append(decision)
+        self._windows_seen += 1
+        return decision

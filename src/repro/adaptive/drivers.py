@@ -1,0 +1,474 @@
+"""Drive a sampler under closed-loop control, per packet or per chunk.
+
+The loop the pieces make together::
+
+    packets ──► selector (k in force) ──► keep/skip ──► QualityMonitor
+                    ▲                                        │
+                    │ re-key at window boundary              │ WindowStats
+                    │                                        ▼
+                AdaptivePipeline ◄── Decision ◄── AdaptiveController
+
+The one ordering rule that makes the loop deterministic: **rate changes
+land exactly at window boundaries**.  Before a packet (or chunk
+segment) that starts a new quality window is offered, the monitor's
+:meth:`~repro.obs.live.QualityMonitor.advance_to` tap closes every due
+window, the controller judges each closed window, and any applied
+change re-keys the selector — so the first packet of a window is
+already sampled at that window's rate, in both execution paths.
+
+Re-keying preserves each selector's natural state across the change,
+with the same arithmetic on the streaming sampler and its fast-path
+kernel twin:
+
+* systematic — the countdown to the next keep is carried modulo the
+  new k (phase continuity, as :class:`~repro.core.sampling.adaptive.
+  AdaptiveSystematic` does between intervals);
+* stratified — the in-progress bucket is abandoned and a fresh
+  k'-bucket starts at the boundary, drawing its keep offset with one
+  ``Generator.integers`` call from the selector's own generator (the
+  same single draw in both paths, so the RNG stream stays aligned);
+* timer — the period is re-derived as ``unit_period_us * k'`` while
+  the pending scheduled firing stands, so the firing grid bends
+  without a discontinuity.
+
+Because the chunked path splits chunks at window boundaries and the
+kernels' chunk algebra is exact within a window, the decision log and
+the keep/skip stream are bit-identical between ``fastpath`` on and off,
+under any chunking — pinned by ``tests/adaptive``.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.adaptive.controller import AdaptiveController, Decision
+from repro.core.sampling.streaming import (
+    StreamingSampler,
+    StreamingStratified,
+    StreamingSystematic,
+    StreamingTimerSystematic,
+)
+from repro.core.metrics.phi import phi_coefficient
+from repro.fastpath.monitor import observe_chunk
+from repro.fastpath.selectors import (
+    StratifiedKernel,
+    SystematicKernel,
+    TimerKernel,
+    chunk_kernel_for,
+)
+from repro.obs.live.monitor import QualityMonitor, WindowStats
+from repro.trace.trace import Trace
+
+__all__ = [
+    "AdaptivePipeline",
+    "AdaptiveRunResult",
+    "T3BudgetDriver",
+    "make_selector",
+    "rekey",
+    "run_adaptive",
+]
+
+#: Either representation of a streaming selector.
+AnySelector = Union[
+    StreamingSampler, SystematicKernel, StratifiedKernel, TimerKernel
+]
+
+
+def make_selector(
+    method: str,
+    granularity: int,
+    seed: int = 0,
+    phase: int = 0,
+    unit_period_us: float = 0.0,
+) -> StreamingSampler:
+    """A streaming selector for ``method`` at ``granularity``.
+
+    ``unit_period_us`` is the timer period per unit granularity (the
+    mean interarrival, typically); required for ``timer-systematic``.
+    """
+    if method == "systematic":
+        return StreamingSystematic(granularity, phase=min(phase, granularity - 1))
+    if method == "stratified":
+        return StreamingStratified(
+            granularity, rng=np.random.default_rng(seed)
+        )
+    if method == "timer-systematic":
+        if unit_period_us <= 0:
+            raise ValueError(
+                "timer-systematic needs a positive unit period"
+            )
+        return StreamingTimerSystematic(period_us=unit_period_us * granularity)
+    raise ValueError("unknown streaming method %r" % method)
+
+
+def rekey(
+    selector: AnySelector, granularity: int, unit_period_us: float = 0.0
+) -> None:
+    """Re-key a live selector to ``granularity`` at a window boundary.
+
+    Works identically on a streaming sampler and on its fast-path
+    kernel twin — same state transformation, same (single) RNG draw —
+    which is what keeps the two execution paths differentially
+    identical across rate changes.
+    """
+    if granularity < 1:
+        raise ValueError("granularity must be >= 1, got %d" % granularity)
+    if isinstance(selector, StreamingSystematic):
+        selector._countdown %= granularity
+        selector.granularity = granularity
+    elif isinstance(selector, SystematicKernel):
+        selector.countdown %= granularity
+        selector.granularity = granularity
+    elif isinstance(selector, StreamingStratified):
+        selector.granularity = granularity
+        selector._position = 0
+        selector._keep_offset = int(selector._rng.integers(0, granularity))
+    elif isinstance(selector, StratifiedKernel):
+        selector.granularity = granularity
+        selector.position = 0
+        selector.keep_offset = int(selector.rng.integers(0, granularity))
+    elif isinstance(selector, StreamingTimerSystematic):
+        if unit_period_us <= 0:
+            raise ValueError("timer re-key needs a positive unit period")
+        selector.period_us = unit_period_us * granularity
+    elif isinstance(selector, TimerKernel):
+        if unit_period_us <= 0:
+            raise ValueError("timer re-key needs a positive unit period")
+        selector.period_us = unit_period_us * granularity
+    else:
+        raise TypeError(
+            "cannot re-key selector of type %s" % type(selector).__name__
+        )
+
+
+class AdaptivePipeline:
+    """One monitored, controlled sampling run over a packet stream.
+
+    Feed it per packet (:meth:`offer`) *or* per chunk
+    (:meth:`process_chunk`); never mix the two in one run lightly —
+    both produce bit-identical decisions and keep/skip streams, but
+    the point of having both is the differential battery.
+
+    Parameters
+    ----------
+    method:
+        ``systematic``, ``stratified``, or ``timer-systematic``.
+    controller:
+        The decision maker; its config's ``initial_granularity`` and
+        ``seed`` determine the selector's starting state.
+    monitor:
+        The live quality monitor producing the feedback windows.
+    fastpath:
+        When true, selection runs on the chunk kernels (chunks are
+        split at window boundaries internally); when false, the
+        per-packet streaming reference.
+    phase, unit_period_us:
+        Selector extras (systematic phase offset; timer period per
+        unit granularity — defaulted by :func:`run_adaptive` to the
+        trace's mean interarrival).
+    obs:
+        Optional :class:`repro.obs.Instrumentation`; every decision
+        becomes an ``adaptive_decision`` event in its log.
+    on_window, on_decision:
+        Callbacks fired per closed window / per decision, in stream
+        order.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        controller: AdaptiveController,
+        monitor: QualityMonitor,
+        fastpath: bool = True,
+        phase: int = 0,
+        unit_period_us: float = 0.0,
+        obs: Any = None,
+        on_window: Optional[Callable[[WindowStats], None]] = None,
+        on_decision: Optional[Callable[[Decision], None]] = None,
+    ) -> None:
+        self.method = method
+        self.controller = controller
+        self.monitor = monitor
+        self.unit_period_us = float(unit_period_us)
+        self.obs = obs
+        self.on_window = on_window
+        self.on_decision = on_decision
+        streaming = make_selector(
+            method,
+            controller.granularity,
+            seed=controller.config.seed,
+            phase=phase,
+            unit_period_us=unit_period_us,
+        )
+        self.selector: AnySelector = streaming
+        if fastpath:
+            kernel = chunk_kernel_for(streaming)
+            if kernel is None:
+                raise ValueError(
+                    "method %r has no chunk kernel" % method
+                )
+            # The kernel adopts the streaming sampler's state (and,
+            # for stratified, its generator), so both paths start from
+            # the identical construction-time draw.
+            self.selector = kernel  # type: ignore[assignment]
+        self.fastpath = fastpath
+        self.offered = 0
+        self.kept = 0
+
+    # ------------------------------------------------------------------
+    # the feedback edge
+
+    def _window_closed(self, stats: WindowStats) -> None:
+        decision = self.controller.observe_window(stats)
+        store = self.monitor.store
+        store.counter("adaptive_windows").inc()
+        store.gauge("adaptive_granularity").set(decision.granularity_after)
+        store.gauge("adaptive_granularity_max").high(
+            decision.granularity_after
+        )
+        if decision.applied:
+            store.counter("adaptive_rate_changes").inc()
+            store.counter(
+                "adaptive_steps_finer"
+                if decision.granularity_after < decision.granularity_before
+                else "adaptive_steps_coarser"
+            ).inc()
+            rekey(
+                self.selector,
+                decision.granularity_after,
+                unit_period_us=self.unit_period_us,
+            )
+        if self.obs is not None:
+            self.obs.event("adaptive_decision", **decision.as_dict())
+        if self.on_window is not None:
+            self.on_window(stats)
+        if self.on_decision is not None:
+            self.on_decision(decision)
+
+    # ------------------------------------------------------------------
+    # per-packet reference path
+
+    def offer(self, timestamp_us: int, size: float) -> bool:
+        """Offer one packet under the rate its window prescribes."""
+        for stats in self.monitor.advance_to(timestamp_us):
+            self._window_closed(stats)
+        assert isinstance(self.selector, StreamingSampler)
+        kept = self.selector.offer(int(timestamp_us))
+        self.monitor.observe(int(timestamp_us), float(size), kept)
+        self.offered += 1
+        self.kept += int(kept)
+        return kept
+
+    # ------------------------------------------------------------------
+    # chunked fast path
+
+    def process_chunk(self, chunk: Trace) -> int:
+        """Fold one chunk, splitting it at quality-window boundaries."""
+        n = len(chunk)
+        if n == 0:
+            return 0
+        arrivals = np.asarray(chunk.timestamps_us, dtype=np.int64)
+        sizes = chunk.sizes.astype(np.float64, copy=False)
+        anchor = self.monitor._window_start
+        if anchor is None:
+            anchor = int(arrivals[0])
+        window_index = (arrivals - anchor) // self.monitor.window_us
+        boundaries = np.flatnonzero(np.diff(window_index)) + 1
+        segment_starts = np.concatenate(([0], boundaries, [n]))
+        for s in range(segment_starts.size - 1):
+            lo = int(segment_starts[s])
+            hi = int(segment_starts[s + 1])
+            for stats in self.monitor.advance_to(int(arrivals[lo])):
+                self._window_closed(stats)
+            mask = self.selector.keep_mask(arrivals[lo:hi])  # type: ignore[union-attr]
+            observe_chunk(self.monitor, arrivals[lo:hi], sizes[lo:hi], mask)
+            self.kept += int(np.count_nonzero(mask))
+        self.offered += n
+        return n
+
+    # ------------------------------------------------------------------
+
+    def flush(self) -> Optional[WindowStats]:
+        """Close the final in-progress window and judge it too."""
+        final = self.monitor.flush()
+        if final is not None:
+            self._window_closed(final)
+        return final
+
+
+@dataclass
+class AdaptiveRunResult:
+    """Everything one adaptive pass produced."""
+
+    method: str
+    offered: int
+    kept: int
+    decisions: List[Decision]
+    windows: List[Dict[str, Any]]
+    controller: AdaptiveController
+    monitor: QualityMonitor
+
+    @property
+    def sampled_fraction(self) -> float:
+        """Total selected share of the offered stream (the cost axis)."""
+        return self.kept / self.offered if self.offered else 0.0
+
+    @property
+    def rate_changes(self) -> int:
+        return self.controller.changes
+
+    def granularities_used(self) -> List[int]:
+        """Distinct granularities in force, in first-use order."""
+        seen: List[int] = []
+        for decision in self.decisions:
+            for k in (decision.granularity_before, decision.granularity_after):
+                if k not in seen:
+                    seen.append(k)
+        return seen
+
+    def mean_phi(self, target: str = "packet-size") -> Optional[float]:
+        """Mean windowed φ for ``target`` over the scored windows."""
+        key = "phi[%s]" % target
+        values = [
+            window[key] for window in self.windows if window.get(key) is not None
+        ]
+        if not values:
+            return None
+        return float(np.mean(values))
+
+    def aggregate_phi(self, target: str = "packet-size") -> Optional[float]:
+        """φ of the run-total sampled-vs-parent histogram for ``target``.
+
+        Read from the monitor store's cumulative histograms, so it
+        reflects every packet of the run regardless of window
+        thinness.
+        """
+        safe = target.replace("-", "_")
+        histograms = self.monitor.store.histograms()
+        parent = histograms.get("%s_parent" % safe)
+        sampled = histograms.get("%s_sampled" % safe)
+        if parent is None or sampled is None or parent.total == 0:
+            return None
+        support = parent.counts > 0
+        if int(support.sum()) < 2:
+            return 0.0
+        proportions = parent.counts[support] / float(parent.total)
+        return float(phi_coefficient(sampled.counts[support], proportions))
+
+
+def run_adaptive(
+    trace: Trace,
+    controller: AdaptiveController,
+    method: str = "systematic",
+    window_us: int = 30_000_000,
+    min_scored: int = 10,
+    fastpath: bool = True,
+    chunk_packets: int = 65_536,
+    phase: int = 0,
+    unit_period_us: float = 0.0,
+    monitor: Optional[QualityMonitor] = None,
+    obs: Any = None,
+    on_window: Optional[Callable[[WindowStats], None]] = None,
+    on_decision: Optional[Callable[[Decision], None]] = None,
+) -> AdaptiveRunResult:
+    """One closed-loop pass over a trace; the library entry point.
+
+    ``fastpath`` switches between the chunked kernels and the
+    per-packet reference; the result — decisions, windows, keep
+    counts, store metrics — is bit-identical either way.  For
+    ``timer-systematic`` the unit period defaults to the trace's mean
+    interarrival, so granularity k means a period of k mean gaps.
+    """
+    if method == "timer-systematic" and unit_period_us <= 0:
+        if len(trace) < 2:
+            raise ValueError(
+                "need at least two packets to derive a timer period"
+            )
+        unit_period_us = max(trace.duration_us / (len(trace) - 1), 1e-9)
+    if monitor is None:
+        monitor = QualityMonitor(window_us=window_us, min_scored=min_scored)
+    windows: List[Dict[str, Any]] = []
+
+    def collect(stats: WindowStats) -> None:
+        windows.append(stats.as_dict())
+        if on_window is not None:
+            on_window(stats)
+
+    pipeline = AdaptivePipeline(
+        method,
+        controller,
+        monitor,
+        fastpath=fastpath,
+        phase=phase,
+        unit_period_us=unit_period_us,
+        obs=obs,
+        on_window=collect,
+        on_decision=on_decision,
+    )
+    if fastpath:
+        from repro.fastpath.pipeline import iter_trace_chunks
+
+        for chunk in iter_trace_chunks(trace, chunk_packets):
+            pipeline.process_chunk(chunk)
+    else:
+        timestamps = trace.timestamps_us.tolist()
+        sizes = trace.sizes.tolist()
+        for timestamp, size in zip(timestamps, sizes):
+            pipeline.offer(int(timestamp), float(size))
+    pipeline.flush()
+    return AdaptiveRunResult(
+        method=method,
+        offered=pipeline.offered,
+        kept=pipeline.kept,
+        decisions=list(controller.decisions),
+        windows=windows,
+        controller=controller,
+        monitor=monitor,
+    )
+
+
+@dataclass
+class T3BudgetDriver:
+    """Budget-first control of a :class:`~repro.netmon.t3node.T3Node`.
+
+    The node's firmware selectors are the actuator and its own
+    counters are the sensor: after each second of traffic the driver
+    reads the offered/characterized deltas, synthesizes a one-second
+    quality window (the budget policy needs only counts and time), and
+    lets the controller walk the firmware granularity.  The node's
+    Horvitz–Thompson total stays unbiased across changes because each
+    second's characterized count is scaled by the k in force when it
+    was selected.
+    """
+
+    node: Any
+    controller: AdaptiveController
+    _seconds: int = field(default=0, init=False)
+    _last_offered: int = field(default=0, init=False)
+    _last_selected: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.node.set_granularity(self.controller.granularity)
+
+    def process_second(self, traffic: Dict[str, Trace]) -> Decision:
+        """Feed one second through the node, then adapt."""
+        self.node.process_second(traffic)
+        offered = self.node.snmp_total_packets()
+        selected = self.node.characterized_packets + self.node.dropped_packets
+        start_us = self._seconds * 1_000_000
+        stats = WindowStats(
+            index=self._seconds,
+            start_us=start_us,
+            end_us=start_us + 1_000_000,
+            offered=offered - self._last_offered,
+            sampled=selected - self._last_selected,
+            metrics={},
+        )
+        self._last_offered = offered
+        self._last_selected = selected
+        self._seconds += 1
+        decision = self.controller.observe_window(stats)
+        if decision.applied:
+            self.node.set_granularity(decision.granularity_after)
+        return decision

@@ -1,0 +1,218 @@
+"""Rate policies: what the controller should *want*, window by window.
+
+A policy inspects one closed quality window — the
+:class:`~repro.obs.live.monitor.WindowStats` the live monitor already
+emits — together with the granularity currently in force, and proposes
+a direction on the paper's power-of-two granularity grid:
+
+* ``FINER`` — halve k (double the sampled fraction), quality is at
+  risk;
+* ``COARSER`` — double k (halve the cost), there is headroom;
+* ``HOLD`` — stay put.
+
+Policies are *pure*: no state beyond their configuration, no RNG, no
+clock.  All temporal smoothing — consecutive-window streaks, the
+post-change cooldown — lives in the
+:class:`~repro.adaptive.controller.AdaptiveController`, so a policy is
+trivially replayable and the controller's hysteresis guarantees hold
+for every policy alike.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple
+
+from repro.obs.live.monitor import WindowStats
+
+#: The paper's granularity grid: 1-in-2 … 1-in-32768 (Sections 4–5 use
+#: exactly these power-of-two fractions).
+GRANULARITY_GRID: Tuple[int, ...] = tuple(2**i for i in range(1, 16))
+
+#: Proposal directions, as integer steps on the grid index.
+FINER = -1
+HOLD = 0
+COARSER = +1
+
+
+def snap_to_grid(
+    granularity: int, grid: Tuple[int, ...] = GRANULARITY_GRID
+) -> int:
+    """The closest grid granularity (ties resolve to the finer rate)."""
+    if granularity < 1:
+        raise ValueError(
+            "granularity must be >= 1, got %d" % granularity
+        )
+    return min(grid, key=lambda k: (abs(k - granularity), k))
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """One window's verdict: a direction and the reason for it."""
+
+    direction: int
+    reason: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in (FINER, HOLD, COARSER):
+            raise ValueError(
+                "direction must be -1, 0, or +1, got %d" % self.direction
+            )
+
+
+class RatePolicy(Protocol):
+    """The one protocol every policy implements."""
+
+    #: Short identifier, recorded in every decision.
+    name: str
+
+    def propose(self, window: WindowStats, granularity: int) -> Proposal:
+        """Judge one closed window under the granularity in force."""
+        ...
+
+
+def _worst_phi(window: WindowStats) -> Optional[float]:
+    """The worse (larger) φ across the characterization targets."""
+    values = [
+        value
+        for key, value in window.metrics.items()
+        if key.startswith("phi[") and value is not None
+    ]
+    return max(values) if values else None
+
+
+def _worst_significance(window: WindowStats) -> Optional[float]:
+    """The worse (smaller) χ² significance across the targets."""
+    values = [
+        value
+        for key, value in window.metrics.items()
+        if key.startswith("chi2_p[") and value is not None
+    ]
+    return min(values) if values else None
+
+
+@dataclass(frozen=True)
+class AccuracyFirstPolicy:
+    """The cheapest rate whose quality stays within tolerance.
+
+    A window breaches when its worst-target φ exceeds ``phi_tol`` or
+    its worst-target χ² significance falls below ``p_floor`` — the
+    same readings the monitor's alert rules use — and the policy asks
+    for a finer rate.  When the window is comfortably inside tolerance
+    (φ below ``headroom``·``phi_tol`` *and* significance above
+    ``p_comfort``), the current rate is wasting budget and the policy
+    asks for a coarser one.  In between — and for windows too thin to
+    score — it holds, which is what gives the loop its hysteresis
+    band: the step-down trigger is deliberately stricter than the
+    step-up trigger, so the controller does not ping-pong across the
+    tolerance boundary.
+    """
+
+    phi_tol: float = 0.05
+    p_floor: float = 0.01
+    headroom: float = 0.5
+    p_comfort: float = 0.2
+    min_sampled: int = 10
+    name: str = "accuracy-first"
+
+    def __post_init__(self) -> None:
+        if self.phi_tol <= 0:
+            raise ValueError("phi tolerance must be positive")
+        if not 0.0 <= self.p_floor <= 1.0:
+            raise ValueError("p_floor must be a probability")
+        if not 0.0 < self.headroom < 1.0:
+            raise ValueError("headroom must be in (0, 1)")
+        if not self.p_floor <= self.p_comfort <= 1.0:
+            raise ValueError("p_comfort must be in [p_floor, 1]")
+        if self.min_sampled < 1:
+            raise ValueError("min_sampled must be >= 1")
+
+    def propose(self, window: WindowStats, granularity: int) -> Proposal:
+        phi = _worst_phi(window)
+        significance = _worst_significance(window)
+        if phi is None and significance is None:
+            # Unscorable window.  If the parent traffic was plentiful
+            # and halving k would yield a scoreable sample, the rate —
+            # not the traffic — is what is starving the monitor; a
+            # controller started absurdly coarse must be able to walk
+            # back into scoring range.
+            if window.offered >= self.min_sampled > window.sampled:
+                return Proposal(
+                    FINER,
+                    "unscorable: ~%d sampled of %d offered"
+                    % (window.sampled, window.offered),
+                )
+            return Proposal(HOLD, "unscored window")
+        if phi is not None and phi > self.phi_tol:
+            return Proposal(
+                FINER, "phi %.4f > tolerance %.4f" % (phi, self.phi_tol)
+            )
+        if significance is not None and significance < self.p_floor:
+            return Proposal(
+                FINER,
+                "chi2 p %.4g < floor %.4g" % (significance, self.p_floor),
+            )
+        comfortable_phi = phi is not None and phi < self.headroom * self.phi_tol
+        comfortable_p = (
+            significance is None or significance >= self.p_comfort
+        )
+        if comfortable_phi and comfortable_p:
+            return Proposal(
+                COARSER,
+                "phi %.4f < %.4f headroom" % (phi, self.headroom * self.phi_tol),
+            )
+        return Proposal(HOLD, "within tolerance band")
+
+
+@dataclass(frozen=True)
+class BudgetFirstPolicy:
+    """The finest rate the selected-packet budget can afford.
+
+    The T3 design's constraint (Section 2): the characterization CPU
+    examines at most so many selected packets per second, across all
+    subsystems.  From a window's offered count the policy projects the
+    selected rate at the current k; above ``budget_pps`` it must step
+    coarser, and when even *half* the granularity would stay under
+    ``utilization``·``budget_pps`` it steps finer — the margin between
+    those two triggers is the hysteresis band that keeps a load
+    hovering near the budget from flapping the rate.
+    """
+
+    budget_pps: float
+    utilization: float = 0.85
+    name: str = "budget-first"
+
+    def __post_init__(self) -> None:
+        if self.budget_pps <= 0:
+            raise ValueError("budget must be positive")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+
+    def propose(self, window: WindowStats, granularity: int) -> Proposal:
+        window_s = (window.end_us - window.start_us) / 1e6
+        if window_s <= 0 or window.offered == 0:
+            return Proposal(HOLD, "empty window")
+        offered_pps = window.offered / window_s
+        selected_pps = offered_pps / granularity
+        if selected_pps > self.budget_pps:
+            return Proposal(
+                COARSER,
+                "%.0f selected pps > budget %.0f"
+                % (selected_pps, self.budget_pps),
+            )
+        finer_pps = offered_pps / max(granularity // 2, 1)
+        if finer_pps <= self.utilization * self.budget_pps:
+            return Proposal(
+                FINER,
+                "%.0f pps at k/2 fits %.0f%% of budget"
+                % (finer_pps, 100 * self.utilization),
+            )
+        return Proposal(HOLD, "at budget knee")
+
+
+@dataclass(frozen=True)
+class StaticPolicy:
+    """The paper's baseline: never move.  Useful as the control arm."""
+
+    name: str = "static"
+
+    def propose(self, window: WindowStats, granularity: int) -> Proposal:
+        return Proposal(HOLD, "static rate")

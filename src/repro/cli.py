@@ -29,6 +29,17 @@ The subcommands (one bullet each, kept in lockstep with the parser by
   data (per-phase wall-clock breakdown, slowest shards, retry/fault
   timeline) from its manifest and ``events.jsonl``; sweeps also take
   ``--profile`` to record the full span tree while they run;
+* ``adapt`` — stream a trace through the closed-loop adaptive
+  sampling controller (:mod:`repro.adaptive`): per quality window the
+  controller walks the granularity along the paper's power-of-two
+  grid toward the declared objective — ``accuracy`` (cheapest rate
+  whose φ / χ² significance stays within tolerance), ``budget`` (best
+  accuracy under a selected-packets/sec budget), or ``static`` (the
+  baseline, for comparison) — emitting a decision trace and the
+  windowed quality series; ``--run-dir`` records both as
+  ``events.jsonl`` + ``metrics.prom``, ``--csv`` saves the decision
+  log, and ``--fastpath`` again switches between bit-identical
+  chunked and per-packet execution;
 * ``monitor`` — stream a trace through an online sampler with the
   live quality monitor attached: windowed φ / χ² / cost per
   characterization target, threshold + hysteresis alert rules, a
@@ -40,8 +51,8 @@ The subcommands (one bullet each, kept in lockstep with the parser by
   reference loop — both produce bit-identical decisions, windows, and
   metrics.
 
-The ``flows`` and ``monitor`` subcommands accept ``--fastpath``; every
-other subcommand is unaffected by it.
+The ``flows``, ``monitor``, and ``adapt`` subcommands accept
+``--fastpath``; every other subcommand is unaffected by it.
 
 Installed as ``repro-traffic`` (see pyproject).
 """
@@ -518,6 +529,169 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     )
     if args.fail_on_alert and engine.raised_total:
         return 1
+    return 0
+
+
+def _adapt_policy(args: argparse.Namespace):
+    """The rate policy the adapt flags select (raises ValueError)."""
+    from repro.adaptive import (
+        AccuracyFirstPolicy,
+        BudgetFirstPolicy,
+        StaticPolicy,
+    )
+
+    if args.objective == "accuracy":
+        return AccuracyFirstPolicy(phi_tol=args.phi_tol, p_floor=args.p_floor)
+    if args.objective == "budget":
+        if args.budget_pps is None:
+            raise ValueError(
+                "--objective budget needs --budget-pps (the selected-"
+                "packet rate the collector can afford)"
+            )
+        return BudgetFirstPolicy(budget_pps=args.budget_pps)
+    return StaticPolicy()
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.adaptive import (
+        AdaptiveController,
+        ControllerConfig,
+        run_adaptive,
+    )
+    from repro.obs import EVENTS_FILENAME, Instrumentation, write_events
+    from repro.obs.live import render_live_metrics
+
+    trace = _load_trace_or_fail(args.trace)
+    if trace is None:
+        return 2
+    try:
+        policy = _adapt_policy(args)
+        config = ControllerConfig(
+            initial_granularity=args.initial_granularity,
+            min_granularity=args.min_granularity,
+            max_granularity=args.max_granularity,
+            step_finer_windows=args.step_finer_windows,
+            step_coarser_windows=args.step_coarser_windows,
+            cooldown_windows=args.cooldown,
+            seed=args.seed,
+        )
+        controller = AdaptiveController(policy, config)
+    except ValueError as error:
+        return _fail(str(error))
+
+    obs = Instrumentation()
+    obs.event(
+        "adapt_start",
+        trace=args.trace,
+        method=args.method,
+        objective=args.objective,
+        initial_granularity=controller.granularity,
+        window_s=args.window,
+    )
+    print(
+        "adapting %s: %s, objective %s, starting 1-in-%d, %gs windows, "
+        "%d packets"
+        % (
+            args.trace,
+            args.method,
+            args.objective,
+            controller.granularity,
+            args.window,
+            len(trace),
+        )
+    )
+
+    def show_decision(decision) -> None:
+        if decision.applied:
+            print(
+                "window %4d  rate 1/%-5d -> 1/%-5d  (%s)"
+                % (
+                    decision.window,
+                    decision.granularity_before,
+                    decision.granularity_after,
+                    decision.reason,
+                )
+            )
+        elif args.status_every and decision.window % args.status_every == 0:
+            print(
+                "window %4d  rate 1/%-5d holds       (%s)"
+                % (decision.window, decision.granularity_after, decision.reason)
+            )
+
+    def on_window(stats) -> None:
+        obs.event("window", **stats.as_dict())
+
+    try:
+        result = run_adaptive(
+            trace,
+            controller,
+            method=args.method,
+            window_us=int(args.window * 1_000_000),
+            min_scored=args.min_scored,
+            fastpath=args.fastpath != "off",
+            phase=args.phase,
+            unit_period_us=args.period_us,
+            obs=obs,
+            on_window=on_window,
+            on_decision=show_decision,
+        )
+    except ValueError as error:
+        return _fail(str(error))
+
+    obs.event(
+        "adapt_end",
+        windows=len(result.windows),
+        rate_changes=result.rate_changes,
+        final_granularity=controller.granularity,
+        sampled_fraction=result.sampled_fraction,
+    )
+    mean_size = result.mean_phi("packet-size")
+    mean_iat = result.mean_phi("interarrival")
+    print(
+        "done: %d windows, %d rate changes, final rate 1/%d"
+        % (len(result.windows), result.rate_changes, controller.granularity)
+    )
+    print(
+        "  sampled %d of %d packets (fraction %.5f), rates used: %s"
+        % (
+            result.kept,
+            result.offered,
+            result.sampled_fraction,
+            ", ".join("1/%d" % k for k in result.granularities_used()),
+        )
+    )
+    print(
+        "  mean windowed phi: size %s, interarrival %s"
+        % (
+            "%.4f" % mean_size if mean_size is not None else "(thin)",
+            "%.4f" % mean_iat if mean_iat is not None else "(thin)",
+        )
+    )
+    if args.csv:
+        _write_csv(
+            args.csv,
+            [
+                "window", "start_us", "end_us", "offered", "sampled",
+                "policy", "proposed", "applied", "granularity_before",
+                "granularity_after", "reason",
+            ],
+            [
+                [
+                    d.window, d.start_us, d.end_us, d.offered, d.sampled,
+                    d.policy, d.proposed, d.applied, d.granularity_before,
+                    d.granularity_after, d.reason,
+                ]
+                for d in result.decisions
+            ],
+        )
+    if args.run_dir:
+        os.makedirs(args.run_dir, exist_ok=True)
+        write_events(os.path.join(args.run_dir, EVENTS_FILENAME), obs.events)
+        with open(os.path.join(args.run_dir, "metrics.prom"), "w") as stream:
+            stream.write(render_live_metrics(result.monitor.store))
+        print("adapt artifacts in %s" % args.run_dir)
     return 0
 
 
@@ -1048,6 +1222,131 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the run's Prometheus exposition (metrics.prom) instead",
     )
     rpt.set_defaults(func=_cmd_report)
+
+    adp = sub.add_parser(
+        "adapt",
+        help="closed-loop adaptive sampling: walk the granularity along "
+        "the paper's power-of-two grid to meet an accuracy or budget "
+        "objective, emitting a decision trace + quality series",
+    )
+    adp.add_argument("trace", help="pcap path or 'synthetic'")
+    adp.add_argument(
+        "--objective",
+        choices=("accuracy", "budget", "static"),
+        default="accuracy",
+        help="accuracy: cheapest rate within phi/chi2 tolerance; "
+        "budget: best accuracy under --budget-pps; static: hold the "
+        "initial rate (the paper's baseline)",
+    )
+    adp.add_argument(
+        "--phi-tol",
+        type=float,
+        default=0.05,
+        help="worst-target windowed phi tolerance (accuracy objective)",
+    )
+    adp.add_argument(
+        "--p-floor",
+        type=float,
+        default=0.01,
+        help="chi2 significance floor (accuracy objective)",
+    )
+    adp.add_argument(
+        "--budget-pps",
+        type=float,
+        default=None,
+        help="selected packets/sec the collector can afford (budget "
+        "objective)",
+    )
+    adp.add_argument(
+        "--method",
+        choices=("systematic", "stratified", "timer-systematic"),
+        default="systematic",
+        help="streaming selection rule being controlled",
+    )
+    adp.add_argument(
+        "--initial-granularity",
+        type=int,
+        default=64,
+        help="starting 1-in-k, snapped to the power-of-two grid",
+    )
+    adp.add_argument(
+        "--min-granularity",
+        type=int,
+        default=2,
+        help="finest rate the controller may reach (default 2)",
+    )
+    adp.add_argument(
+        "--max-granularity",
+        type=int,
+        default=32768,
+        help="coarsest rate the controller may reach (default 32768, "
+        "the paper's grid ceiling)",
+    )
+    adp.add_argument(
+        "--step-finer-windows",
+        type=int,
+        default=1,
+        help="consecutive breaching windows before stepping finer",
+    )
+    adp.add_argument(
+        "--step-coarser-windows",
+        type=int,
+        default=3,
+        help="consecutive comfortable windows before stepping coarser",
+    )
+    adp.add_argument(
+        "--cooldown",
+        type=int,
+        default=2,
+        help="windows to hold after any rate change",
+    )
+    adp.add_argument(
+        "--window",
+        type=float,
+        default=30.0,
+        help="quality window length in seconds (default 30)",
+    )
+    adp.add_argument(
+        "--min-scored",
+        type=int,
+        default=10,
+        help="minimum parent and sampled values per window before a "
+        "target is scored",
+    )
+    adp.add_argument(
+        "--phase", type=int, default=0, help="systematic phase offset"
+    )
+    adp.add_argument(
+        "--period-us",
+        type=float,
+        default=0.0,
+        help="timer period per unit granularity for timer-systematic "
+        "(default: the trace's mean interarrival)",
+    )
+    adp.add_argument("--seed", type=int, default=0)
+    adp.add_argument(
+        "--status-every",
+        type=int,
+        default=0,
+        help="also print a line every N held windows (0 = changes only)",
+    )
+    adp.add_argument(
+        "--csv", default="", help="save the decision trace as CSV"
+    )
+    adp.add_argument(
+        "--run-dir",
+        default="",
+        help="directory for events.jsonl (decisions, windowed quality "
+        "points) and the final metrics.prom",
+    )
+    adp.add_argument(
+        "--fastpath",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="chunked vectorized pipeline (auto/on) or the per-packet "
+        "reference loop (off); decisions and metrics are bit-identical",
+    )
+    adp.set_defaults(func=_cmd_adapt)
 
     live = sub.add_parser(
         "monitor",

@@ -87,6 +87,7 @@ class T3Node:
         self.obs = obs
         self.characterized_packets = 0
         self.dropped_packets = 0
+        self.ht_estimated_packets = 0.0
 
     def process_second(self, traffic: Dict[str, Trace]) -> None:
         """One second of traffic per interface, in parallel.
@@ -112,7 +113,13 @@ class T3Node:
         self.obs.counter("t3_cpu_offered_packets").inc(len(merged))
         self.obs.counter("t3_characterized_packets").inc(len(characterized))
         self.obs.gauge("t3_cpu_offered_pps_max").high(len(merged))
+        self.obs.gauge("t3_sampling_granularity").set(self.granularity)
         self.characterized_packets += len(characterized)
+        # Horvitz-Thompson: each second's characterized packets carry
+        # the inverse of the selection probability in force *now*, so
+        # the total stays unbiased when the granularity is re-keyed
+        # mid-run (repro.adaptive.T3BudgetDriver).
+        self.ht_estimated_packets += len(characterized) * self.granularity
         for obj in self.objects:
             obj.observe(characterized)
 
@@ -140,13 +147,36 @@ class T3Node:
             }
             self.process_second(batches)
 
+    def set_granularity(self, granularity: int) -> None:
+        """Re-key every subsystem's firmware selector to 1-in-k.
+
+        Applied between seconds by the adaptive budget driver; each
+        subsystem's selection phase is carried modulo the new k, the
+        same continuity rule the streaming selectors use at quality-
+        window boundaries.
+        """
+        if granularity < 1:
+            raise ValueError("granularity must be >= 1, got %d" % granularity)
+        self.granularity = granularity
+        for iface in self.interfaces.values():
+            iface.subsystem.granularity = granularity
+            iface.subsystem._phase %= granularity
+
     def snmp_total_packets(self) -> int:
         """Forwarding-path packet total across all interfaces."""
         return sum(i.counters.packets for i in self.interfaces.values())
 
     def estimated_total_packets(self) -> int:
-        """Characterized count scaled back up by the granularity."""
+        """Characterized count scaled back up by the granularity.
+
+        Exact only while the granularity never changed; after adaptive
+        re-keying use :meth:`horvitz_thompson_total`.
+        """
         return self.characterized_packets * self.granularity
+
+    def horvitz_thompson_total(self) -> float:
+        """Unbiased packet-total estimate across granularity changes."""
+        return self.ht_estimated_packets
 
     def snapshot(self) -> Dict:
         """Per-interface counters, pipeline health, object snapshots."""
@@ -167,5 +197,6 @@ class T3Node:
             iface.counters.reset()
         self.characterized_packets = 0
         self.dropped_packets = 0
+        self.ht_estimated_packets = 0.0
         for obj in self.objects:
             obj.reset()

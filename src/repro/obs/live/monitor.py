@@ -221,6 +221,35 @@ class QualityMonitor:
         self._prev_timestamp = timestamp_us
         return tuple(closed)
 
+    def advance_to(self, timestamp_us: int) -> Tuple[WindowStats, ...]:
+        """Close every window that ends at or before ``timestamp_us``.
+
+        The feedback tap for closed-loop control
+        (:mod:`repro.adaptive`): a controller that must act *between*
+        windows — re-keying the sampler before the first packet of the
+        new window is offered — calls this with the arriving packet's
+        timestamp, applies its decisions, and only then offers the
+        packet.  A subsequent :meth:`observe` of the same timestamp
+        closes nothing further, so the window stream is exactly the one
+        ``observe`` alone would have produced; the monitor stays
+        passive (no RNG, no influence on keep/skip).
+
+        Before the first offered packet there is no window grid yet and
+        nothing closes.
+        """
+        timestamp_us = int(timestamp_us)
+        prev = self._prev_timestamp
+        if prev is not None and timestamp_us < prev:
+            raise ValueError(
+                "time went backwards: %d after %d" % (timestamp_us, prev)
+            )
+        if self._window_start is None:
+            return _NO_WINDOWS
+        closed: List[WindowStats] = []
+        while timestamp_us >= self._window_start + self.window_us:
+            closed.append(self._close_window())
+        return tuple(closed)
+
     def flush(self) -> Optional[WindowStats]:
         """Close the in-progress window at end of stream, if non-empty."""
         if self._window_start is None or self._offered == 0:
@@ -310,6 +339,9 @@ class NullQualityMonitor:
     def observe(
         self, timestamp_us: int, size: float, kept: bool
     ) -> Tuple[WindowStats, ...]:
+        return _NO_WINDOWS
+
+    def advance_to(self, timestamp_us: int) -> Tuple[WindowStats, ...]:
         return _NO_WINDOWS
 
     def flush(self) -> Optional[WindowStats]:

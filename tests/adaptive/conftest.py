@@ -1,0 +1,43 @@
+"""Shared fixtures for the adaptive-control battery.
+
+One nonstationary trace, built once per session: three 60-second
+regimes whose offered rate swings 8x and whose size mix shifts, so an
+accuracy-first controller genuinely has something to react to in every
+test that replays it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.trace.trace import Trace
+
+SIZES = np.array([40, 64, 128, 552, 576, 1500])
+REGIMES = (
+    (60, 150, (0.45, 0.20, 0.15, 0.10, 0.05, 0.05)),
+    (60, 1200, (0.15, 0.10, 0.10, 0.30, 0.15, 0.20)),
+    (60, 300, (0.30, 0.15, 0.15, 0.20, 0.10, 0.10)),
+)
+
+
+def build_bursty_trace(seed: int = 7) -> Trace:
+    rng = np.random.default_rng(seed)
+    timestamps = []
+    sizes = []
+    start_us = 0
+    for seconds, pps, weights in REGIMES:
+        n = int(seconds * pps)
+        gaps = rng.exponential(1e6 / pps, size=n)
+        timestamps.append(
+            start_us + np.cumsum(gaps) * (seconds * 1e6 / gaps.sum())
+        )
+        sizes.append(rng.choice(SIZES, size=n, p=weights))
+        start_us += seconds * 1_000_000
+    return Trace(
+        timestamps_us=np.concatenate(timestamps).astype(np.int64),
+        sizes=np.concatenate(sizes).astype(np.int32),
+    )
+
+
+@pytest.fixture(scope="session")
+def bursty_trace() -> Trace:
+    return build_bursty_trace()

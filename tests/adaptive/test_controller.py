@@ -1,0 +1,225 @@
+"""The hysteresis state machine: streaks, cooldown, clamps, resume."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive.controller import AdaptiveController, ControllerConfig
+from repro.adaptive.policy import COARSER, FINER, HOLD, Proposal
+from repro.obs.live.monitor import WindowStats
+
+
+@dataclass
+class ScriptedPolicy:
+    """Replays a fixed sequence of directions, one per window."""
+
+    script: List[int]
+    name: str = "scripted"
+    calls: int = field(default=0, init=False)
+
+    def propose(self, window: WindowStats, granularity: int) -> Proposal:
+        direction = self.script[self.calls % len(self.script)]
+        self.calls += 1
+        return Proposal(direction, "scripted")
+
+
+def feed(controller: AdaptiveController, n: int):
+    """Push n synthetic windows through the controller."""
+    decisions = []
+    for i in range(n):
+        stats = WindowStats(
+            index=i,
+            start_us=i * 1_000_000,
+            end_us=(i + 1) * 1_000_000,
+            offered=1000,
+            sampled=100,
+            metrics={},
+        )
+        decisions.append(controller.observe_window(stats))
+    return decisions
+
+
+class TestConfig:
+    def test_defaults_are_the_documented_ones(self):
+        config = ControllerConfig()
+        assert config.initial_granularity == 64
+        assert config.step_finer_windows == 1
+        assert config.step_coarser_windows == 3
+        assert config.cooldown_windows == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"grid": ()},
+            {"grid": (8, 4)},
+            {"min_granularity": 128, "max_granularity": 64},
+            {"step_finer_windows": 0},
+            {"cooldown_windows": -1},
+            {"min_granularity": 5, "max_granularity": 7},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ControllerConfig(**kwargs)
+
+    def test_effective_grid_is_the_clamped_slice(self):
+        config = ControllerConfig(min_granularity=8, max_granularity=128)
+        assert config.effective_grid() == (8, 16, 32, 64, 128)
+
+    def test_initial_granularity_snaps_to_grid(self):
+        controller = AdaptiveController(
+            ScriptedPolicy([HOLD]), ControllerConfig(initial_granularity=50)
+        )
+        assert controller.granularity == 64
+
+
+class TestHysteresis:
+    def test_finer_fires_after_streak(self):
+        controller = AdaptiveController(
+            ScriptedPolicy([FINER]),
+            ControllerConfig(step_finer_windows=2, cooldown_windows=0),
+        )
+        first, second = feed(controller, 2)
+        assert not first.applied
+        assert second.applied
+        assert second.granularity_after == 32
+
+    def test_interrupted_streak_resets(self):
+        controller = AdaptiveController(
+            ScriptedPolicy([COARSER, COARSER, HOLD, COARSER, COARSER, COARSER]),
+            ControllerConfig(step_coarser_windows=3, cooldown_windows=0),
+        )
+        decisions = feed(controller, 6)
+        assert [d.applied for d in decisions] == [False] * 5 + [True]
+        assert decisions[-1].granularity_after == 128
+
+    def test_cooldown_blocks_and_annotates(self):
+        controller = AdaptiveController(
+            ScriptedPolicy([FINER]),
+            ControllerConfig(step_finer_windows=1, cooldown_windows=2),
+        )
+        decisions = feed(controller, 4)
+        assert [d.applied for d in decisions] == [True, False, False, True]
+        assert all("[cooldown]" in d.reason for d in decisions[1:3])
+
+    def test_grid_floor_is_annotated_not_crossed(self):
+        controller = AdaptiveController(
+            ScriptedPolicy([FINER]),
+            ControllerConfig(
+                initial_granularity=2, step_finer_windows=1, cooldown_windows=0
+            ),
+        )
+        (decision,) = feed(controller, 1)
+        assert not decision.applied
+        assert controller.granularity == 2
+        assert "[at grid floor]" in decision.reason
+
+    def test_grid_ceiling_is_annotated_not_crossed(self):
+        controller = AdaptiveController(
+            ScriptedPolicy([COARSER]),
+            ControllerConfig(
+                initial_granularity=32768,
+                step_coarser_windows=1,
+                cooldown_windows=0,
+            ),
+        )
+        (decision,) = feed(controller, 1)
+        assert not decision.applied
+        assert "[at grid ceiling]" in decision.reason
+
+    def test_every_window_yields_exactly_one_decision(self):
+        controller = AdaptiveController(ScriptedPolicy([FINER, HOLD, COARSER]))
+        feed(controller, 9)
+        assert len(controller.decisions) == 9
+        assert [d.window for d in controller.decisions] == list(range(9))
+
+
+class TestResume:
+    def test_snapshot_restore_round_trip(self):
+        script = [FINER, FINER, HOLD, COARSER, FINER, HOLD]
+        full = AdaptiveController(ScriptedPolicy(script))
+        feed(full, 12)
+
+        head = AdaptiveController(ScriptedPolicy(script))
+        head_decisions = feed(head, 5)
+        resumed = AdaptiveController(ScriptedPolicy(script))
+        resumed.policy.calls = 5
+        resumed.restore(head.snapshot())
+        tail_decisions = [
+            resumed.observe_window(
+                WindowStats(
+                    index=i,
+                    start_us=i * 1_000_000,
+                    end_us=(i + 1) * 1_000_000,
+                    offered=1000,
+                    sampled=100,
+                    metrics={},
+                )
+            )
+            for i in range(5, 12)
+        ]
+        assert head_decisions + tail_decisions == full.decisions
+        assert resumed.snapshot() == full.snapshot()
+
+    def test_restore_rejects_foreign_index(self):
+        controller = AdaptiveController(ScriptedPolicy([HOLD]))
+        state = controller.snapshot()
+        state["granularity_index"] = 99
+        with pytest.raises(ValueError):
+            controller.restore(state)
+
+
+class TestOscillationBound:
+    """The headline hypothesis property: cooldown bounds change frequency."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        script=st.lists(
+            st.sampled_from([FINER, HOLD, COARSER]), min_size=1, max_size=40
+        ),
+        n_windows=st.integers(min_value=1, max_value=120),
+        finer=st.integers(min_value=1, max_value=3),
+        coarser=st.integers(min_value=1, max_value=4),
+        cooldown=st.integers(min_value=0, max_value=5),
+        initial=st.sampled_from([2, 16, 256, 32768]),
+    )
+    def test_changes_never_violate_cooldown(
+        self, script, n_windows, finer, coarser, cooldown, initial
+    ):
+        controller = AdaptiveController(
+            ScriptedPolicy(script),
+            ControllerConfig(
+                initial_granularity=initial,
+                step_finer_windows=finer,
+                step_coarser_windows=coarser,
+                cooldown_windows=cooldown,
+            ),
+        )
+        decisions = feed(controller, n_windows)
+
+        changed = [d.window for d in decisions if d.applied]
+        # Two applied changes are always more than cooldown windows
+        # apart: after a change there are exactly `cooldown` refractory
+        # windows before another can fire.
+        assert all(
+            later - earlier >= cooldown + 1
+            for earlier, later in zip(changed, changed[1:])
+        )
+        # Every change is a single notch on the power-of-two grid.
+        for decision in decisions:
+            if decision.applied:
+                before, after = (
+                    decision.granularity_before,
+                    decision.granularity_after,
+                )
+                assert after in (before * 2, before // 2)
+            else:
+                assert decision.granularity_after == decision.granularity_before
+        # The walk never leaves the configured grid slice.
+        grid = controller.config.effective_grid()
+        assert all(d.granularity_after in grid for d in decisions)
+        # Decision log is complete and ordered.
+        assert [d.window for d in decisions] == list(range(n_windows))

@@ -1,0 +1,138 @@
+"""Unit tests for the rate policies and the granularity grid."""
+
+import pytest
+
+from repro.adaptive.policy import (
+    COARSER,
+    FINER,
+    GRANULARITY_GRID,
+    HOLD,
+    AccuracyFirstPolicy,
+    BudgetFirstPolicy,
+    Proposal,
+    StaticPolicy,
+    snap_to_grid,
+)
+from repro.obs.live.monitor import WindowStats
+
+
+def window(offered=10_000, sampled=200, phi=None, chi2_p=None, seconds=10):
+    metrics = {}
+    if phi is not None:
+        metrics["phi[packet-size]"] = phi
+    if chi2_p is not None:
+        metrics["chi2_p[packet-size]"] = chi2_p
+    return WindowStats(
+        index=0,
+        start_us=0,
+        end_us=seconds * 1_000_000,
+        offered=offered,
+        sampled=sampled,
+        metrics=metrics,
+    )
+
+
+class TestGrid:
+    def test_grid_is_the_papers_powers_of_two(self):
+        assert GRANULARITY_GRID[0] == 2
+        assert GRANULARITY_GRID[-1] == 32768
+        assert all(b == 2 * a for a, b in zip(GRANULARITY_GRID, GRANULARITY_GRID[1:]))
+
+    @pytest.mark.parametrize(
+        "raw, snapped",
+        [(2, 2), (3, 2), (50, 64), (47, 32), (48, 32), (100_000, 32768), (1, 2)],
+    )
+    def test_snap_to_grid(self, raw, snapped):
+        assert snap_to_grid(raw) == snapped
+
+    def test_snap_ties_resolve_finer(self):
+        # 96 is equidistant from 64 and 128; fidelity wins.
+        assert snap_to_grid(96) == 64
+
+    def test_snap_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            snap_to_grid(0)
+
+    def test_proposal_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            Proposal(direction=2, reason="no")
+
+
+class TestAccuracyFirst:
+    def test_breach_steps_finer(self):
+        policy = AccuracyFirstPolicy(phi_tol=0.05)
+        assert policy.propose(window(phi=0.08), 64).direction == FINER
+
+    def test_low_significance_steps_finer(self):
+        policy = AccuracyFirstPolicy(p_floor=0.01)
+        proposal = policy.propose(window(phi=0.03, chi2_p=0.001), 64)
+        assert proposal.direction == FINER
+        assert "chi2" in proposal.reason
+
+    def test_comfortable_window_steps_coarser(self):
+        policy = AccuracyFirstPolicy(phi_tol=0.05, headroom=0.5, p_comfort=0.2)
+        assert policy.propose(window(phi=0.01, chi2_p=0.9), 64).direction == COARSER
+
+    def test_band_between_triggers_holds(self):
+        policy = AccuracyFirstPolicy(phi_tol=0.05, headroom=0.5)
+        assert policy.propose(window(phi=0.04, chi2_p=0.5), 64).direction == HOLD
+
+    def test_starved_unscored_window_steps_finer(self):
+        # Plenty offered, nothing scoreable sampled: the rate is the
+        # problem, and the policy must walk back into scoring range.
+        policy = AccuracyFirstPolicy(min_sampled=10)
+        proposal = policy.propose(window(offered=5000, sampled=2), 2048)
+        assert proposal.direction == FINER
+        assert "unscorable" in proposal.reason
+
+    def test_thin_unscored_window_holds(self):
+        policy = AccuracyFirstPolicy(min_sampled=10)
+        assert policy.propose(window(offered=4, sampled=2), 2).direction == HOLD
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"phi_tol": 0.0},
+            {"p_floor": 1.5},
+            {"headroom": 1.0},
+            {"p_comfort": 0.001, "p_floor": 0.01},
+            {"min_sampled": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AccuracyFirstPolicy(**kwargs)
+
+
+class TestBudgetFirst:
+    def test_over_budget_steps_coarser(self):
+        policy = BudgetFirstPolicy(budget_pps=10.0)
+        # 10_000 offered over 10 s at 1/64 -> ~15.6 selected pps.
+        assert policy.propose(window(), 64).direction == COARSER
+
+    def test_headroom_steps_finer(self):
+        policy = BudgetFirstPolicy(budget_pps=100.0, utilization=0.85)
+        # At 1/64: 15.6 pps; at 1/32: 31.2 pps <= 85 pps budget slack.
+        assert policy.propose(window(), 64).direction == FINER
+
+    def test_knee_holds(self):
+        policy = BudgetFirstPolicy(budget_pps=20.0, utilization=0.85)
+        # At 1/64: 15.6 <= 20, at 1/32: 31.2 > 17 -> hold at the knee.
+        assert policy.propose(window(), 64).direction == HOLD
+
+    def test_empty_window_holds(self):
+        policy = BudgetFirstPolicy(budget_pps=20.0)
+        assert policy.propose(window(offered=0, sampled=0), 64).direction == HOLD
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetFirstPolicy(budget_pps=0.0)
+        with pytest.raises(ValueError):
+            BudgetFirstPolicy(budget_pps=10.0, utilization=1.5)
+
+
+class TestStatic:
+    def test_always_holds(self):
+        policy = StaticPolicy()
+        for w in (window(), window(phi=0.9), window(offered=0, sampled=0)):
+            assert policy.propose(w, 64).direction == HOLD

@@ -7,9 +7,15 @@ same population.
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.trace.trace import Trace
 from repro.workload.generator import nsfnet_hour_trace
+
+# The nightly scheduled job reruns the property suites with a much
+# larger search budget (`--hypothesis-profile=nightly`); the default
+# profile stays untouched for interactive and per-PR runs.
+settings.register_profile("nightly", max_examples=1000, deadline=None)
 
 
 @pytest.fixture(scope="session")

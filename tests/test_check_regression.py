@@ -1,0 +1,162 @@
+"""The bench regression gate and trend reporter fail loudly, not late.
+
+Both scripts are exercised the way CI runs them — as subprocesses —
+pinning exit codes and one-line messages.  The cases that matter most
+are the stale-gate ones: a baseline entry whose benchmark was never
+run, and a benchmark whose record file was deleted, must each fail
+with a readable message rather than pass silently or dump a traceback.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECK = REPO / "benchmarks" / "check_regression.py"
+TREND = REPO / "benchmarks" / "bench_trend.py"
+
+
+def write_json(path: Path, payload) -> Path:
+    path.write_text(json.dumps(payload) + "\n")
+    return path
+
+
+def record(name="demo", **wall):
+    return {"benchmark": name, "wall_s": wall or {"step": 0.1}}
+
+
+def run_check(baseline_path, *records, factor="2.0"):
+    return subprocess.run(
+        [
+            sys.executable,
+            str(CHECK),
+            "--baseline",
+            str(baseline_path),
+            "--factor",
+            factor,
+        ]
+        + [str(r) for r in records],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestCheckRegression:
+    def test_within_budget_passes(self, tmp_path):
+        baseline = write_json(tmp_path / "baseline.json", {"demo": {"step": 0.2}})
+        rec = write_json(tmp_path / "demo.json", record(step=0.1))
+        result = run_check(baseline, rec)
+        assert result.returncode == 0
+        assert "all metrics within" in result.stdout
+
+    def test_regression_fails(self, tmp_path):
+        baseline = write_json(tmp_path / "baseline.json", {"demo": {"step": 0.1}})
+        rec = write_json(tmp_path / "demo.json", record(step=0.5))
+        result = run_check(baseline, rec)
+        assert result.returncode == 1
+        assert "REGRESSION" in result.stdout
+        assert "2.0x baseline" in result.stderr
+
+    def test_baseline_benchmark_not_run_fails(self, tmp_path):
+        baseline = write_json(
+            tmp_path / "baseline.json",
+            {"demo": {"step": 0.2}, "ghost": {"step": 0.2}},
+        )
+        rec = write_json(tmp_path / "demo.json", record(step=0.1))
+        result = run_check(baseline, rec)
+        assert result.returncode == 1
+        assert "FAIL: baseline benchmark 'ghost' was not run" in result.stderr
+
+    def test_baseline_metric_missing_from_record_fails(self, tmp_path):
+        baseline = write_json(
+            tmp_path / "baseline.json", {"demo": {"step": 0.2, "other": 0.2}}
+        )
+        rec = write_json(tmp_path / "demo.json", record(step=0.1))
+        result = run_check(baseline, rec)
+        assert result.returncode == 1
+        assert "metric 'other' missing from current record" in result.stderr
+
+    def test_unknown_current_metric_fails(self, tmp_path):
+        baseline = write_json(tmp_path / "baseline.json", {"demo": {"step": 0.2}})
+        rec = write_json(tmp_path / "demo.json", record(step=0.1, surprise=0.1))
+        result = run_check(baseline, rec)
+        assert result.returncode == 1
+        assert "metric 'surprise' has no baseline entry" in result.stderr
+
+    def test_deleted_record_file_is_one_line_fail(self, tmp_path):
+        """A missing record file must not raise a raw traceback."""
+        baseline = write_json(tmp_path / "baseline.json", {"demo": {"step": 0.2}})
+        result = run_check(baseline, tmp_path / "deleted.json")
+        assert result.returncode == 1
+        assert "record not readable" in result.stderr
+        assert "Traceback" not in result.stderr
+        # The stale baseline entry is reported alongside.
+        assert "was not run" in result.stderr
+
+    def test_corrupt_record_file_is_one_line_fail(self, tmp_path):
+        baseline = write_json(tmp_path / "baseline.json", {})
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        result = run_check(baseline, bad)
+        assert result.returncode == 1
+        assert "not valid JSON" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_record_without_benchmark_name_fails(self, tmp_path):
+        baseline = write_json(tmp_path / "baseline.json", {})
+        rec = write_json(tmp_path / "anon.json", {"wall_s": {"step": 0.1}})
+        result = run_check(baseline, rec)
+        assert result.returncode == 1
+        assert "has no 'benchmark' field" in result.stderr
+
+
+class TestBenchTrend:
+    def run_trend(self, tmp_path, *records, history=None, summary=None):
+        args = [
+            sys.executable,
+            str(TREND),
+            "--history",
+            str(history or tmp_path / "history.jsonl"),
+            "--baseline",
+            str(tmp_path / "baseline.json"),
+        ]
+        if summary is not None:
+            args += ["--summary", str(summary)]
+        return subprocess.run(
+            args + [str(r) for r in records], capture_output=True, text=True
+        )
+
+    def test_appends_history_and_renders_deltas(self, tmp_path):
+        write_json(tmp_path / "baseline.json", {"demo": {"step": 0.2}})
+        rec = write_json(tmp_path / "demo.json", record(step=0.1))
+        history = tmp_path / "history.jsonl"
+        summary = tmp_path / "summary.md"
+        for expected_entries in (1, 2):
+            result = self.run_trend(
+                tmp_path, rec, history=history, summary=summary
+            )
+            assert result.returncode == 0
+            lines = [
+                json.loads(line)
+                for line in history.read_text().splitlines()
+                if line.strip()
+            ]
+            assert len(lines) == expected_entries
+            assert lines[-1]["benchmark"] == "demo"
+            assert lines[-1]["wall_s"] == {"step": 0.1}
+        text = summary.read_text()
+        assert "| demo | step | 0.100 | 0.200 | -50.0% |" in text
+
+    def test_missing_record_is_nonfatal(self, tmp_path):
+        write_json(tmp_path / "baseline.json", {})
+        result = self.run_trend(tmp_path, tmp_path / "gone.json")
+        assert result.returncode == 0
+        assert "skipped" in result.stderr
+
+    def test_metric_without_baseline_is_flagged_not_fatal(self, tmp_path):
+        write_json(tmp_path / "baseline.json", {})
+        rec = write_json(tmp_path / "demo.json", record(step=0.1))
+        result = self.run_trend(tmp_path, rec)
+        assert result.returncode == 0
+        assert "(no baseline)" in result.stdout

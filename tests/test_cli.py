@@ -360,3 +360,115 @@ class TestFlowsCommand:
         assert main(["flows", missing, "aggregate"]) == 2
         err = capsys.readouterr().err
         assert "not found" in err
+
+
+class TestAdaptCommand:
+    def test_adapt_parser_defaults(self):
+        args = build_parser().parse_args(["adapt", "x"])
+        assert args.objective == "accuracy"
+        assert args.initial_granularity == 64
+        assert args.cooldown == 2
+        assert args.fastpath == "auto"
+
+    def test_adapt_objective_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adapt", "x", "--objective", "bogus"])
+
+    def test_adapt_runs_and_reports(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pcap")
+        main(["generate", trace_path, "--duration", "120", "--seed", "5"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "adapt", trace_path,
+                    "--window", "10",
+                    "--min-scored", "2",
+                    "--initial-granularity", "1024",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "objective accuracy" in out
+        assert "rate changes, final rate 1/" in out
+        assert "mean windowed phi" in out
+
+    def test_adapt_decision_csv_and_run_dir(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pcap")
+        csv_path = tmp_path / "decisions.csv"
+        run_dir = tmp_path / "run"
+        main(["generate", trace_path, "--duration", "120", "--seed", "5"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "adapt", trace_path,
+                    "--window", "10",
+                    "--min-scored", "2",
+                    "--csv", str(csv_path),
+                    "--run-dir", str(run_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("window,start_us,end_us,offered,sampled")
+        assert len(lines) >= 2
+        events = (run_dir / "events.jsonl").read_text()
+        assert "adapt_start" in events
+        assert "adaptive_decision" in events
+        assert "adapt_end" in events
+        metrics = (run_dir / "metrics.prom").read_text()
+        assert "adaptive_granularity" in metrics
+
+    def test_adapt_fastpath_toggle_is_invisible(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pcap")
+        main(["generate", trace_path, "--duration", "120", "--seed", "5"])
+        capsys.readouterr()
+        outputs = []
+        for fastpath in ("on", "off"):
+            assert (
+                main(
+                    [
+                        "adapt", trace_path,
+                        "--window", "10",
+                        "--min-scored", "2",
+                        "--fastpath", fastpath,
+                    ]
+                )
+                == 0
+            )
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_adapt_budget_objective_needs_budget(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pcap")
+        main(["generate", trace_path, "--duration", "5", "--seed", "5"])
+        capsys.readouterr()
+        assert main(["adapt", trace_path, "--objective", "budget"]) == 2
+        err = capsys.readouterr().err
+        assert "budget" in err
+
+    def test_adapt_rejects_bad_config(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pcap")
+        main(["generate", trace_path, "--duration", "5", "--seed", "5"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "adapt", trace_path,
+                    "--min-granularity", "512",
+                    "--max-granularity", "8",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "granularity" in err
+
+    def test_adapt_missing_trace_fails_cleanly(self, tmp_path, capsys):
+        assert main(["adapt", str(tmp_path / "nope.pcap")]) == 2
+        err = capsys.readouterr().err
+        assert "not found" in err

@@ -50,6 +50,11 @@ def run_example(name: str) -> str:
             ["flow accounting under 1-in-100 sampling",
              "binned EM inversion", "beats the naive rescaling"],
         ),
+        (
+            "adaptive_sampling",
+            ["closed-loop adaptive sampling", "decision trace",
+             "rate changes, final rate 1/"],
+        ),
     ],
 )
 def test_example_runs(name, expectations):
@@ -71,6 +76,7 @@ def test_examples_directory_complete():
         "daily_pattern",
         "streaming_monitor",
         "flow_accounting",
+        "adaptive_sampling",
     }
     assert scripts == covered
 
