@@ -49,15 +49,25 @@ The subcommands (one bullet each, kept in lockstep with the parser by
   ``--fastpath {auto,on,off}`` picks between the chunked vectorized
   pipeline (:mod:`repro.fastpath`, the default) and the per-packet
   reference loop — both produce bit-identical decisions, windows, and
-  metrics.
+  metrics;
+* ``cache`` — manage the on-disk columnar trace cache
+  (:class:`repro.trace.store.TraceStore`): ``build`` decodes a capture
+  once into memory-mapped column files, ``info`` prints the entry's
+  manifest, ``verify`` rechecks the content digests, ``clear`` drops
+  the trace's entry.
 
 The ``flows``, ``monitor``, and ``adapt`` subcommands accept
-``--fastpath``; every other subcommand is unaffected by it.
+``--fastpath``; every other subcommand is unaffected by it.  The
+global ``--trace-cache DIR`` flag (or the ``REPRO_TRACE_CACHE``
+environment variable) points every subcommand that reads a pcap at the
+columnar cache: warm entries load as memory maps with no parsing, cold
+ones are decoded once and cached on the way through.
 
 Installed as ``repro-traffic`` (see pyproject).
 """
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -77,9 +87,29 @@ from repro.workload.generator import nsfnet_hour_trace
 _TARGETS = {t.name: t for t in PAPER_TARGETS}
 
 
-def _load_trace(path: str) -> Trace:
+def _trace_cache_dir(args: Optional[argparse.Namespace]) -> Optional[str]:
+    """The configured trace-cache directory, or ``None``.
+
+    The global ``--trace-cache`` flag wins; the ``REPRO_TRACE_CACHE``
+    environment variable is the deployment-wide default.
+    """
+    explicit = getattr(args, "trace_cache", None) if args is not None else None
+    return explicit or os.environ.get("REPRO_TRACE_CACHE") or None
+
+
+def _load_trace(
+    path: str,
+    args: Optional[argparse.Namespace] = None,
+    obs=None,
+) -> Trace:
     if path == "synthetic":
         return nsfnet_hour_trace(duration_s=600)
+    cache_dir = _trace_cache_dir(args)
+    if cache_dir:
+        from repro.trace.store import TraceStore
+
+        store = TraceStore(cache_dir) if obs is None else TraceStore(cache_dir, obs=obs)
+        return store.load_or_build(path)
     return read_pcap(path)
 
 
@@ -94,7 +124,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
+    trace = _load_trace(args.trace, args)
     print("packets: %d  duration: %.1f s" % (len(trace), trace.duration_us / 1e6))
     print(describe(trace.sizes).row("packet size (bytes)", digits=0))
     iat = trace.interarrivals_us()
@@ -108,7 +138,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
-    trace = _load_trace(args.trace)
+    trace = _load_trace(args.trace, args)
     rng = np.random.default_rng(args.seed)
     sampler = make_sampler(args.method, args.granularity, trace=trace, rng=rng)
     result = sampler.sample(trace, rng=rng)
@@ -167,9 +197,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     obs = _cli_obs(args)
     if obs is not None:
         with obs.span("trace_read"):
-            trace = _load_trace(args.trace)
+            trace = _load_trace(args.trace, args, obs=obs)
     else:
-        trace = _load_trace(args.trace)
+        trace = _load_trace(args.trace, args)
     granularities = tuple(2**i for i in range(1, args.max_log2_granularity + 1))
     grid = ExperimentGrid(
         methods=tuple(args.methods),
@@ -208,7 +238,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_samplesize(args: argparse.Namespace) -> int:
     from repro.core.samplesize import plan_for_population
 
-    trace = _load_trace(args.trace)
+    trace = _load_trace(args.trace, args)
     quantities = {
         "packet size (B)": trace.sizes.astype(float),
         "interarrival (us)": trace.interarrivals_us().astype(float),
@@ -243,7 +273,7 @@ def _cmd_samplesize(args: argparse.Namespace) -> int:
 def _cmd_fidelity(args: argparse.Namespace) -> int:
     from repro.analysis.temporal import fidelity_series, worst_window
 
-    trace = _load_trace(args.trace)
+    trace = _load_trace(args.trace, args)
     rng = np.random.default_rng(args.seed)
     sampler = make_sampler(args.method, args.granularity, trace=trace, rng=rng)
     result = sampler.sample(trace, rng=rng)
@@ -282,9 +312,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     obs = _cli_obs(args)
     if obs is not None:
         with obs.span("trace_read"):
-            trace = _load_trace(args.trace)
+            trace = _load_trace(args.trace, args, obs=obs)
     else:
-        trace = _load_trace(args.trace)
+        trace = _load_trace(args.trace, args)
     report = reproduce_study(
         trace,
         quick=args.quick,
@@ -330,12 +360,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return _fail("cannot read %s: %s" % (args.run_dir, error))
 
 
-def _load_trace_or_fail(path: str):
+def _load_trace_or_fail(
+    path: str,
+    args: Optional[argparse.Namespace] = None,
+    obs=None,
+):
     """A trace, or ``None`` after printing a one-line error (exit 2)."""
     from repro.trace.pcap import PcapError
 
     try:
-        trace = _load_trace(path)
+        trace = _load_trace(path, args, obs=obs)
     except FileNotFoundError:
         _fail("trace file not found: %s" % path)
         return None
@@ -423,15 +457,21 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         rules = [AlertRule.from_spec(spec) for spec in specs]
     except ValueError as error:
         return _fail(str(error))
-    trace = _load_trace_or_fail(args.trace)
-    if trace is None:
-        return 2
     try:
-        selector = _monitor_selector(args, trace)
         monitor = QualityMonitor(
             window_us=int(args.window * 1_000_000),
             min_scored=args.min_scored,
         )
+    except ValueError as error:
+        return _fail(str(error))
+    # The monitor's live store is the cache's counter sink, so
+    # trace_cache_hit/miss/bytes ride the same exposition as the
+    # sampling-quality metrics.
+    trace = _load_trace_or_fail(args.trace, args, obs=monitor.store)
+    if trace is None:
+        return 2
+    try:
+        selector = _monitor_selector(args, trace)
     except ValueError as error:
         return _fail(str(error))
 
@@ -563,7 +603,7 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     from repro.obs import EVENTS_FILENAME, Instrumentation, write_events
     from repro.obs.live import render_live_metrics
 
-    trace = _load_trace_or_fail(args.trace)
+    trace = _load_trace_or_fail(args.trace, args)
     if trace is None:
         return 2
     try:
@@ -698,7 +738,7 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.trace.validate import validate_trace
 
-    trace = _load_trace(args.trace)
+    trace = _load_trace(args.trace, args)
     issues = validate_trace(trace)
     if not issues:
         print("clean: %d packets, no findings" % len(trace))
@@ -713,7 +753,7 @@ def _cmd_netmon(args: argparse.Namespace) -> int:
     from repro.netmon.nnstat import NNStatCollector
     from repro.netmon.node import BackboneNode
 
-    trace = _load_trace(args.trace)
+    trace = _load_trace(args.trace, args)
     node = BackboneNode(
         "node",
         NNStatCollector(
@@ -782,7 +822,7 @@ def _flows_study(args: argparse.Namespace, trace):
 
 
 def _cmd_flows(args: argparse.Namespace) -> int:
-    trace = _load_trace_or_fail(args.trace)
+    trace = _load_trace_or_fail(args.trace, args)
     if trace is None:
         return 2
     if args.granularity < 1:
@@ -978,6 +1018,65 @@ def _cmd_flows(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.trace.pcap import PcapError
+    from repro.trace.store import TraceStore
+
+    cache_dir = _trace_cache_dir(args)
+    if not cache_dir:
+        return _fail(
+            "no trace cache configured; pass --trace-cache DIR (before "
+            "the subcommand) or set REPRO_TRACE_CACHE"
+        )
+    if args.trace == "synthetic":
+        return _fail(
+            "the synthetic trace is generated in-process and is never cached"
+        )
+    store = TraceStore(cache_dir)
+
+    if args.action == "build":
+        try:
+            trace = store.build(args.trace)
+        except FileNotFoundError:
+            return _fail("trace file not found: %s" % args.trace)
+        except IsADirectoryError:
+            return _fail("%s is a directory, not a pcap file" % args.trace)
+        except PcapError as error:
+            return _fail("unreadable trace %s: %s" % (args.trace, error))
+        print(
+            "built cache entry for %s: %d packets at %s"
+            % (args.trace, len(trace), store.entry_dir(args.trace))
+        )
+        return 0
+
+    if args.action == "info":
+        manifest = store.info(args.trace)
+        if manifest is None:
+            print("no cache entry for %s under %s" % (args.trace, cache_dir))
+            return 1
+        print("entry:    %s" % manifest["entry_dir"])
+        print("source:   %s (%d bytes)"
+              % (manifest["source_path"], manifest["source_size"]))
+        print("sha256:   %s" % manifest["source_sha256"])
+        print("packets:  %d" % manifest["n_packets"])
+        for name, meta in sorted(manifest["columns"].items()):
+            print("  %-14s %-5s x %d" % (name, meta["dtype"], meta["count"]))
+        return 0
+
+    if args.action == "verify":
+        problems = store.verify(args.trace)
+        if not problems:
+            print("cache entry for %s is intact" % args.trace)
+            return 0
+        for problem in problems:
+            print(problem)
+        return 1
+
+    removed = store.clear(args.trace)
+    print("removed %d cache entr%s" % (removed, "y" if removed == 1 else "ies"))
+    return 0
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     """Execution-engine controls shared by sweep-running subcommands."""
     parser.add_argument(
@@ -1055,6 +1154,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-traffic",
         description="Packet-sampling methodology toolkit "
         "(Claffy/Polyzos/Braun, SIGCOMM 1993 reproduction)",
+    )
+    parser.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help="columnar trace-cache directory: pcap reads hit the cache "
+        "(decoding and caching on a miss) and load as memory maps on a "
+        "hit; defaults to $REPRO_TRACE_CACHE, unset means no cache",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -1444,6 +1551,22 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical",
     )
     live.set_defaults(func=_cmd_monitor)
+
+    cch = sub.add_parser(
+        "cache",
+        help="manage the columnar trace cache: build, inspect, verify, "
+        "or clear one capture's entry (needs --trace-cache or "
+        "$REPRO_TRACE_CACHE)",
+    )
+    cch.add_argument("trace", help="pcap path the entry is keyed on")
+    cch.add_argument(
+        "action",
+        choices=("build", "info", "verify", "clear"),
+        help="build: decode and cache the capture; info: print the "
+        "entry manifest; verify: recheck content digests; clear: "
+        "remove the entry",
+    )
+    cch.set_defaults(func=_cmd_cache)
     return parser
 
 

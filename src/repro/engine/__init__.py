@@ -60,9 +60,12 @@ from repro.engine.faults import (
 from repro.engine.planner import GridPlanner, Shard, shard_rng, shard_seed
 from repro.engine.runner import ParallelRunner, QuarantinedShards, run_grid
 from repro.engine.sharedtrace import (
+    MemmapTraceBuffer,
+    MemmapTraceSpec,
     SharedTraceBuffer,
     SharedTraceSpec,
     attach_trace,
+    publish_trace,
     reap_stale_segments,
 )
 from repro.engine.telemetry import EngineEvent, RunTelemetry, ShardTiming
@@ -86,9 +89,12 @@ __all__ = [
     "ParallelRunner",
     "QuarantinedShards",
     "run_grid",
+    "MemmapTraceBuffer",
+    "MemmapTraceSpec",
     "SharedTraceBuffer",
     "SharedTraceSpec",
     "attach_trace",
+    "publish_trace",
     "reap_stale_segments",
     "EngineEvent",
     "RunTelemetry",

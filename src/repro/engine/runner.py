@@ -80,7 +80,11 @@ from repro.engine.faults import (
     ShardTimeoutError,
 )
 from repro.engine.planner import GridPlanner, Shard
-from repro.engine.sharedtrace import SharedTraceBuffer, reap_stale_segments
+from repro.engine.sharedtrace import (
+    TraceBuffer,
+    publish_trace,
+    reap_stale_segments,
+)
 from repro.engine.telemetry import RunTelemetry, ShardTiming
 from repro.engine.worker import (
     ShardContext,
@@ -515,8 +519,11 @@ class _Execution:
         reap_stale_segments()
         crumb_dir = tempfile.mkdtemp(prefix="repro-engine-")
         try:
+            # publish_trace picks the transport: memmap-backed traces
+            # (a warm TraceStore hit) are published by file reference;
+            # anything else is copied once into shared memory.
             with self.obs.span("shared_memory_publish"):
-                buffer = SharedTraceBuffer(self.trace)
+                buffer = publish_trace(self.trace)
             self.obs.gauge("shared_memory_bytes").set(buffer.nbytes)
             with buffer:
                 self._supervise(pending, buffer, crumb_dir)
@@ -524,7 +531,7 @@ class _Execution:
             shutil.rmtree(crumb_dir, ignore_errors=True)
 
     def _new_pool(
-        self, buffer: SharedTraceBuffer, crumb_dir: str
+        self, buffer: TraceBuffer, crumb_dir: str
     ) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
             max_workers=self.runner.jobs,
@@ -565,7 +572,7 @@ class _Execution:
         return blamed
 
     def _supervise(
-        self, pending: List[Shard], buffer: SharedTraceBuffer, crumb_dir: str
+        self, pending: List[Shard], buffer: TraceBuffer, crumb_dir: str
     ) -> None:
         """The pool supervision loop: submit, collect, recover."""
         runner = self.runner

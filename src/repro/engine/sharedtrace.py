@@ -13,6 +13,13 @@ slot order, each aligned to its own dtype (the offsets in the spec are
 authoritative).  The picklable :class:`SharedTraceSpec` carries the
 block name and per-column (dtype, offset) so attachment needs no other
 channel.
+
+Traces that are already file-backed — e.g. served out of a
+:class:`~repro.trace.store.TraceStore` cache entry — skip shared memory
+entirely: :func:`publish_trace` notices that every column is a
+read-only memory map and hands workers a :class:`MemmapTraceSpec`
+(per-column path + file offset) instead, so each worker maps the same
+on-disk pages the parent uses and the publish step copies nothing.
 """
 
 import atexit
@@ -20,7 +27,7 @@ import os
 import secrets
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import List, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -50,6 +57,17 @@ class SharedTraceSpec:
     shm_name: str
     n_packets: int
     columns: Tuple[Tuple[str, str, int], ...]  # (column, dtype str, offset)
+
+
+@dataclass(frozen=True)
+class MemmapTraceSpec:
+    """A file-backed trace: workers map the files, nothing is copied."""
+
+    n_packets: int
+    columns: Tuple[Tuple[str, str, str, int], ...]  # (column, dtype, path, offset)
+
+
+TraceSpec = Union[SharedTraceSpec, MemmapTraceSpec]
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
@@ -163,21 +181,108 @@ class SharedTraceBuffer:
         self.close()
 
 
-def attach_trace(spec: SharedTraceSpec) -> Tuple[Trace, shared_memory.SharedMemory]:
-    """Worker side: rebuild a trace as views over the shared block.
+class MemmapTraceBuffer:
+    """Owner side of a file-backed trace: nothing to allocate or copy.
 
-    Returns the trace **and** the attached segment; the caller must
-    keep the segment referenced for as long as the trace is in use
-    (the arrays are views over its buffer) and ``close()`` it when
-    done.  The views are never written to — :class:`Trace` is immutable
-    by convention and samplers only read.
+    Mirrors :class:`SharedTraceBuffer`'s interface (``spec``,
+    ``nbytes``, ``close``, context manager) so the runner treats both
+    transports uniformly; the backing files belong to the trace store,
+    so ``close`` is a no-op.
     """
-    shm = _attach_untracked(spec.shm_name)
+
+    def __init__(self, spec: MemmapTraceSpec, nbytes: int) -> None:
+        self.spec = spec
+        self.nbytes = nbytes
+
+    def close(self) -> None:
+        """Nothing to release: the store owns the files."""
+
+    def __enter__(self) -> "MemmapTraceBuffer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+TraceBuffer = Union["SharedTraceBuffer", MemmapTraceBuffer]
+
+
+def _column_mapping(column: np.ndarray) -> Optional[Tuple[str, int]]:
+    """The (path, file offset) backing ``column``, or ``None``.
+
+    A trace served from a :class:`~repro.trace.store.TraceStore` entry
+    holds base-class views of per-column :class:`numpy.memmap` arrays;
+    walking the base chain recovers the map and the view's byte offset
+    into the backing file.
+    """
+    if not column.flags.c_contiguous:
+        return None
+    base = column
+    while base is not None and not isinstance(base, np.memmap):
+        base = getattr(base, "base", None)
+    if base is None or getattr(base, "filename", None) is None:
+        return None
+    delta = (
+        column.__array_interface__["data"][0]
+        - base.__array_interface__["data"][0]
+    )
+    if delta < 0:
+        return None
+    return os.fspath(base.filename), int(base.offset) + int(delta)
+
+
+def publish_trace(trace: Trace) -> Union[SharedTraceBuffer, MemmapTraceBuffer]:
+    """Publish ``trace`` for worker attachment, by the cheapest route.
+
+    When every column is already backed by an on-disk memory map (a
+    warm :class:`~repro.trace.store.TraceStore` hit), workers can map
+    the same files and the publish step is free; otherwise the columns
+    are copied once into a shared-memory segment.
+    """
+    mapped = []
+    for name in _COLUMNS:
+        column = getattr(trace, name)
+        backing = _column_mapping(column)
+        if backing is None:
+            return SharedTraceBuffer(trace)
+        mapped.append((name, column.dtype.str, backing[0], backing[1]))
+    spec = MemmapTraceSpec(n_packets=len(trace), columns=tuple(mapped))
+    nbytes = sum(getattr(trace, name).nbytes for name in _COLUMNS)
+    return MemmapTraceBuffer(spec, nbytes)
+
+
+def attach_trace(
+    spec: TraceSpec,
+) -> Tuple[Trace, Optional[shared_memory.SharedMemory]]:
+    """Worker side: rebuild a trace as views over the shared pages.
+
+    Returns the trace **and** the attached segment (``None`` for the
+    memmap transport, whose mappings are owned by the column arrays
+    themselves); the caller must keep the segment referenced for as
+    long as the trace is in use (the arrays are views over its buffer)
+    and ``close()`` it when done.  The views are never written to —
+    :class:`Trace` is immutable by convention and samplers only read.
+    """
     columns = {}
-    for (name, dtype, offset) in spec.columns:
-        columns[name] = np.ndarray(
-            (spec.n_packets,), dtype=dtype, buffer=shm.buf, offset=offset
-        )
+    if isinstance(spec, MemmapTraceSpec):
+        for (name, dtype, path, offset) in spec.columns:
+            if spec.n_packets:
+                columns[name] = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode="r",
+                    offset=offset,
+                    shape=(spec.n_packets,),
+                )
+            else:
+                columns[name] = np.empty(0, dtype=dtype)
+        shm: Optional[shared_memory.SharedMemory] = None
+    else:
+        shm = _attach_untracked(spec.shm_name)
+        for (name, dtype, offset) in spec.columns:
+            columns[name] = np.ndarray(
+                (spec.n_packets,), dtype=dtype, buffer=shm.buf, offset=offset
+            )
     trace = Trace(
         timestamps_us=columns["timestamps_us"],
         sizes=columns["sizes"],

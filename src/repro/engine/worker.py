@@ -49,7 +49,7 @@ from repro.engine.faults import (
     ShardTimeoutError,
 )
 from repro.engine.planner import Shard, shard_rng
-from repro.engine.sharedtrace import SharedTraceSpec, attach_trace
+from repro.engine.sharedtrace import TraceSpec, attach_trace
 from repro.trace.filters import prefix_interval
 from repro.trace.trace import Trace
 
@@ -316,16 +316,16 @@ _WORKER_CRUMB_DIR: Optional[str] = None
 
 
 def init_worker(
-    spec: SharedTraceSpec,
+    spec: TraceSpec,
     grid: ExperimentGrid,
     fault_plan: Optional[FaultPlan] = None,
     crumb_dir: Optional[str] = None,
 ) -> None:
     """Pool initializer: attach the shared trace, build the context.
 
-    Runs once per worker process.  The attached segment is kept in a
-    module global so the trace's column views stay backed for the
-    worker's lifetime.
+    Runs once per worker process.  The attached segment (``None`` for
+    the memmap transport) is kept in a module global so the trace's
+    column views stay backed for the worker's lifetime.
     """
     global _WORKER_CONTEXT, _WORKER_SHM, _WORKER_FAULTS, _WORKER_CRUMB_DIR
     trace, shm = attach_trace(spec)

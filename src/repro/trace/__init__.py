@@ -3,7 +3,9 @@
 This subpackage provides the data plumbing that the sampling study rests
 on: an immutable columnar packet-trace container (:class:`Trace`), a
 single-packet record view (:class:`PacketRecord`), a from-scratch classic
-libpcap reader/writer, the 400 microsecond monitor clock used by the
+libpcap reader/writer with a vectorized fast path, a memory-mapped
+columnar cache of decoded traces (:class:`TraceStore`), the 400
+microsecond monitor clock used by the
 paper's measurement hardware, time-window filters, and the per-second
 volume series summarized in Table 2 of the paper.
 """
@@ -18,6 +20,7 @@ from repro.trace.packet import (
 from repro.trace.trace import Trace
 from repro.trace.clock import MonitorClock
 from repro.trace.pcap import PcapError, iter_pcap, read_pcap, write_pcap
+from repro.trace.store import TraceStore
 from repro.trace.filters import (
     first_packets,
     prefix_interval,
@@ -40,6 +43,7 @@ __all__ = [
     "iter_pcap",
     "read_pcap",
     "write_pcap",
+    "TraceStore",
     "first_packets",
     "prefix_interval",
     "sliding_windows",

@@ -10,14 +10,26 @@ Only the header fields the study consumes are preserved.  Network
 numbers are encoded in the upper 16 bits of each IPv4 address
 (``addr = net << 16 | host``), mirroring the class-B flavoured NSFNET
 numbering of the era; the reader inverts the same convention.
+
+Both directions have two code paths, selected by ``fastpath``: the
+vectorized block codec in :mod:`repro.trace.store` (the default) and
+the original per-record struct loop, retained as the executable
+reference.  The vectorized reader verifies every record chain exactly
+and silently demotes any stream region it cannot verify to the
+reference loop, so output — including error behavior — is always
+bit-identical between the two.
 """
 
+import io
+import os
 import struct
-from typing import Any, BinaryIO, Iterator, Union
+from typing import Any, BinaryIO, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs.instrument import NULL_OBS
 from repro.trace.packet import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP
+from repro.trace.store import FastpathUnsupported, encode_trace, iter_decoded_columns
 from repro.trace.trace import Trace
 
 #: Classic libpcap magic for microsecond-resolution timestamps.
@@ -36,9 +48,18 @@ _TRANSPORT_HEADER_LEN = {IPPROTO_TCP: 20, IPPROTO_UDP: 8, IPPROTO_ICMP: 8}
 #: Capture length: enough for IP + the largest transport header we emit.
 DEFAULT_SNAPLEN = 64
 
+_FASTPATH_VALUES = ("auto", "on", "off")
+
 
 class PcapError(ValueError):
     """Raised when a pcap stream is malformed or unsupported."""
+
+
+def _check_fastpath(fastpath: str) -> None:
+    if fastpath not in _FASTPATH_VALUES:
+        raise ValueError(
+            "fastpath must be one of 'auto', 'on', 'off'; got %r" % (fastpath,)
+        )
 
 
 def _ip_checksum(header: bytes) -> int:
@@ -100,7 +121,10 @@ def _build_packet_bytes(
 
 
 def write_pcap(
-    trace: Trace, destination: Union[str, BinaryIO], snaplen: int = DEFAULT_SNAPLEN
+    trace: Trace,
+    destination: Union[str, BinaryIO],
+    snaplen: int = DEFAULT_SNAPLEN,
+    fastpath: str = "auto",
 ) -> None:
     """Write ``trace`` to ``destination`` as a classic pcap file.
 
@@ -114,13 +138,26 @@ def write_pcap(
         Capture length per packet.  Headers always fit within the
         default; payload beyond the snap length is truncated, with the
         true size preserved in the record's original-length field.
+    fastpath:
+        ``"auto"``/``"on"`` serialize through the vectorized encoder
+        (byte-identical output); ``"off"`` forces the per-record
+        reference loop.  Fields outside the reference writer's struct
+        ranges demote to the reference loop so the historical error is
+        raised either way.
     """
+    _check_fastpath(fastpath)
     if snaplen < _IP_HEADER_LEN + max(_TRANSPORT_HEADER_LEN.values()):
         raise ValueError("snaplen %d too small to hold packet headers" % snaplen)
     if isinstance(destination, str):
         with open(destination, "wb") as stream:
-            write_pcap(trace, stream, snaplen=snaplen)
+            write_pcap(trace, stream, snaplen=snaplen, fastpath=fastpath)
         return
+
+    if fastpath != "off":
+        encoded = encode_trace(trace, snaplen)
+        if encoded is not None:
+            destination.write(encoded)
+            return
 
     destination.write(
         _GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen, LINKTYPE_RAW)
@@ -144,6 +181,21 @@ def write_pcap(
         destination.write(payload)
 
 
+def _map_payload(stream: BinaryIO) -> Union[bytes, np.ndarray]:
+    """The remaining bytes of ``stream`` for the vectorized decoder:
+    a read-only memory map when the stream is a real file (no copy, no
+    read), a plain ``read()`` otherwise."""
+    try:
+        fileno = stream.fileno()
+        offset = stream.tell()
+    except (OSError, AttributeError, io.UnsupportedOperation):
+        return stream.read()
+    remaining = os.fstat(fileno).st_size - offset
+    if remaining <= 0:
+        return b""
+    return np.memmap(stream, dtype=np.uint8, mode="r", offset=offset, shape=(remaining,))
+
+
 def _read_exactly(stream: BinaryIO, count: int) -> bytes:
     data = stream.read(count)
     if len(data) != count:
@@ -153,49 +205,14 @@ def _read_exactly(stream: BinaryIO, count: int) -> bytes:
     return data
 
 
-#: Default packets per chunk for :func:`iter_pcap` — ~5 MB of columns.
-DEFAULT_CHUNK_PACKETS = 262_144
-
-
-def iter_pcap(
-    source: Union[str, BinaryIO],
-    chunk_packets: int = DEFAULT_CHUNK_PACKETS,
-    obs: Any = None,
-) -> Iterator[Trace]:
-    """Stream a classic pcap file as :class:`Trace` chunks.
-
-    Yields traces of up to ``chunk_packets`` packets each, in file
-    order, so captures bigger than RAM can be ingested window by
-    window (per-chunk column memory is bounded; the file is never read
-    whole).  Concatenating every chunk reproduces :func:`read_pcap`'s
-    result exactly.  An empty capture yields no chunks.
-
-    ``obs`` optionally takes an :class:`repro.obs.Instrumentation` (or
-    the null instance); each yielded chunk then increments the
-    ``pcap_chunks`` / ``pcap_packets`` ingest counters so a live
-    monitor can report collector read progress.
-
-    Supports both byte orders (by magic), requires RAW-IP link type and
-    microsecond timestamps, and tolerates truncated payload capture as
-    long as the 20-byte IPv4 header plus any port fields were captured.
-    """
-    if chunk_packets < 1:
-        raise ValueError("chunk_packets must be >= 1, got %d" % chunk_packets)
-    if obs is None:
-        from repro.obs.instrument import NULL_OBS
-
-        obs = NULL_OBS
-    if isinstance(source, str):
-        with open(source, "rb") as stream:
-            yield from iter_pcap(stream, chunk_packets=chunk_packets, obs=obs)
-        return
-
-    head = _read_exactly(source, _GLOBAL_HEADER.size)
+def _parse_global_header(head: bytes) -> Tuple[struct.Struct, bool]:
+    """Validate the 24-byte global header; returns the record-header
+    struct and whether the capture is byte-swapped (big-endian)."""
     magic_le = struct.unpack("<I", head[:4])[0]
     if magic_le == PCAP_MAGIC:
-        global_hdr, record_hdr = _GLOBAL_HEADER, _RECORD_HEADER
+        global_hdr, record_hdr, swapped = _GLOBAL_HEADER, _RECORD_HEADER, False
     elif struct.unpack(">I", head[:4])[0] == PCAP_MAGIC:
-        global_hdr, record_hdr = _GLOBAL_HEADER_BE, _RECORD_HEADER_BE
+        global_hdr, record_hdr, swapped = _GLOBAL_HEADER_BE, _RECORD_HEADER_BE, True
     else:
         raise PcapError("bad pcap magic 0x%08x" % magic_le)
 
@@ -204,40 +221,25 @@ def iter_pcap(
         raise PcapError("unsupported pcap version %d.%d" % (major, minor))
     if linktype != LINKTYPE_RAW:
         raise PcapError("unsupported link type %d (want RAW IP)" % linktype)
+    return record_hdr, swapped
 
-    timestamps, sizes, protocols = [], [], []
-    src_nets, dst_nets, src_ports, dst_ports = [], [], [], []
 
-    def flush() -> Trace:
-        chunk = Trace(
-            timestamps_us=np.asarray(timestamps, dtype=np.int64),
-            sizes=np.asarray(sizes, dtype=np.int32),
-            protocols=protocols,
-            src_nets=src_nets,
-            dst_nets=dst_nets,
-            src_ports=src_ports,
-            dst_ports=dst_ports,
-        )
-        for column in (
-            timestamps,
-            sizes,
-            protocols,
-            src_nets,
-            dst_nets,
-            src_ports,
-            dst_ports,
-        ):
-            column.clear()
-        return chunk
+#: One decoded record: (timestamp_us, size, protocol, src_net, dst_net,
+#: src_port, dst_port).
+_Record = Tuple[int, int, int, int, int, int, int]
 
+
+def _iter_records(stream: BinaryIO, record_hdr: struct.Struct) -> Iterator[_Record]:
+    """The per-record reference parser (the executable specification
+    the vectorized codec is pinned against)."""
     while True:
-        raw = source.read(record_hdr.size)
+        raw = stream.read(record_hdr.size)
         if not raw:
             break
         if len(raw) != record_hdr.size:
             raise PcapError("truncated pcap record header")
         ts_sec, ts_usec, incl_len, orig_len = record_hdr.unpack(raw)
-        payload = _read_exactly(source, incl_len)
+        payload = _read_exactly(stream, incl_len)
         if incl_len < _IP_HEADER_LEN:
             raise PcapError("record captured %d bytes, below IP header" % incl_len)
         (
@@ -259,30 +261,174 @@ def iter_pcap(
             src_port, dst_port = struct.unpack(
                 ">HH", payload[_IP_HEADER_LEN : _IP_HEADER_LEN + 4]
             )
-        timestamps.append(ts_sec * 1_000_000 + ts_usec)
-        sizes.append(orig_len)
-        protocols.append(protocol)
-        src_nets.append(src_addr >> 16)
-        dst_nets.append(dst_addr >> 16)
-        src_ports.append(src_port)
-        dst_ports.append(dst_port)
-        if len(timestamps) >= chunk_packets:
-            chunk = flush()
-            obs.counter("pcap_chunks").inc()
-            obs.counter("pcap_packets").inc(len(chunk))
-            yield chunk
+        yield (
+            ts_sec * 1_000_000 + ts_usec,
+            orig_len,
+            protocol,
+            src_addr >> 16,
+            dst_addr >> 16,
+            src_port,
+            dst_port,
+        )
 
-    if timestamps:
-        chunk = flush()
-        obs.counter("pcap_chunks").inc()
-        obs.counter("pcap_packets").inc(len(chunk))
+
+_ColumnTuple = Tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray
+]
+
+_COLUMN_NAMES = (
+    "timestamps_us",
+    "sizes",
+    "protocols",
+    "src_nets",
+    "dst_nets",
+    "src_ports",
+    "dst_ports",
+)
+_RECORD_DTYPES = (np.int64, np.int32, np.uint8, np.uint16, np.uint16, np.uint16, np.uint16)
+
+
+def _columns_from_records(records: List[_Record]) -> _ColumnTuple:
+    fields = tuple(zip(*records))
+    return tuple(  # type: ignore[return-value]
+        np.asarray(field, dtype=dtype)
+        for field, dtype in zip(fields, _RECORD_DTYPES)
+    )
+
+
+class _ChunkBuilder:
+    """Accumulates decoded column batches and emits :class:`Trace`
+    chunks of exactly ``chunk_packets`` packets (plus a final partial),
+    incrementing the ingest counters per emitted chunk — the exact
+    cadence of the historical per-record loop."""
+
+    def __init__(self, chunk_packets: int, obs: Any) -> None:
+        self._chunk_packets = chunk_packets
+        self._obs = obs
+        self._parts: List[_ColumnTuple] = []
+        self._buffered = 0
+
+    def push(self, columns: _ColumnTuple) -> List[Trace]:
+        if len(columns[0]):
+            self._parts.append(columns)
+            self._buffered += len(columns[0])
+        ready: List[Trace] = []
+        while self._buffered >= self._chunk_packets:
+            ready.append(self._emit(self._chunk_packets))
+        return ready
+
+    def finish(self) -> List[Trace]:
+        return [self._emit(self._buffered)] if self._buffered else []
+
+    def _emit(self, count: int) -> Trace:
+        if len(self._parts) == 1:
+            merged = self._parts[0]
+        else:
+            merged = tuple(  # type: ignore[assignment]
+                np.concatenate([part[i] for part in self._parts])
+                for i in range(len(_COLUMN_NAMES))
+            )
+        head = tuple(np.ascontiguousarray(column[:count]) for column in merged)
+        if count < self._buffered:
+            self._parts = [tuple(column[count:] for column in merged)]
+        else:
+            self._parts = []
+        self._buffered -= count
+        chunk = Trace(**dict(zip(_COLUMN_NAMES, head)))
+        self._obs.counter("pcap_chunks").inc()
+        self._obs.counter("pcap_packets").inc(len(chunk))
+        return chunk
+
+
+#: Default packets per chunk for :func:`iter_pcap` — ~5 MB of columns.
+DEFAULT_CHUNK_PACKETS = 262_144
+
+
+def iter_pcap(
+    source: Union[str, BinaryIO],
+    chunk_packets: int = DEFAULT_CHUNK_PACKETS,
+    obs: Any = None,
+    fastpath: str = "auto",
+) -> Iterator[Trace]:
+    """Stream a classic pcap file as :class:`Trace` chunks.
+
+    Yields traces of up to ``chunk_packets`` packets each, in file
+    order; concatenating every chunk reproduces :func:`read_pcap`'s
+    result exactly.  An empty capture yields no chunks.
+
+    ``obs`` optionally takes an :class:`repro.obs.Instrumentation` (or
+    the null instance); each yielded chunk then increments the
+    ``pcap_chunks`` / ``pcap_packets`` ingest counters so a live
+    monitor can report collector read progress.
+
+    ``fastpath`` selects the decoder: ``"auto"``/``"on"`` run the
+    vectorized block codec (the raw byte stream is materialized whole;
+    column chunks stay bounded), transparently demoting any region it
+    cannot verify to the reference loop so output and errors are
+    bit-identical; ``"off"`` forces the original per-record loop, which
+    also keeps byte-stream memory bounded for captures bigger than RAM.
+
+    Supports both byte orders (by magic), requires RAW-IP link type and
+    microsecond timestamps, and tolerates truncated payload capture as
+    long as the 20-byte IPv4 header plus any port fields were captured.
+    """
+    if chunk_packets < 1:
+        raise ValueError("chunk_packets must be >= 1, got %d" % chunk_packets)
+    _check_fastpath(fastpath)
+    if obs is None:
+        obs = NULL_OBS
+    if isinstance(source, str):
+        with open(source, "rb") as stream:
+            yield from iter_pcap(
+                stream, chunk_packets=chunk_packets, obs=obs, fastpath=fastpath
+            )
+        return
+
+    head = _read_exactly(source, _GLOBAL_HEADER.size)
+    record_hdr, swapped = _parse_global_header(head)
+    builder = _ChunkBuilder(chunk_packets, obs)
+
+    if fastpath != "off":
+        payload = _map_payload(source)
+        resume: Optional[int] = None
+        try:
+            for columns in iter_decoded_columns(payload, swapped=swapped):
+                for chunk in builder.push(columns):
+                    yield chunk
+        except FastpathUnsupported as demoted:
+            resume = demoted.resume_offset
+        if resume is None:
+            for chunk in builder.finish():
+                yield chunk
+            return
+        # Re-parse the unverified tail with the reference loop; no
+        # records past `resume` were emitted, so this cannot duplicate.
+        tail = payload[resume:]
+        source = io.BytesIO(
+            tail.tobytes() if isinstance(tail, np.ndarray) else tail
+        )
+
+    batch: List[_Record] = []
+    for record in _iter_records(source, record_hdr):
+        batch.append(record)
+        if len(batch) >= chunk_packets:
+            for chunk in builder.push(_columns_from_records(batch)):
+                yield chunk
+            batch = []
+    if batch:
+        for chunk in builder.push(_columns_from_records(batch)):
+            yield chunk
+    for chunk in builder.finish():
         yield chunk
 
 
-def read_pcap(source: Union[str, BinaryIO]) -> Trace:
+def read_pcap(source: Union[str, BinaryIO], fastpath: str = "auto") -> Trace:
     """Read a classic pcap file into a single :class:`Trace`.
 
     A convenience over :func:`iter_pcap` for captures that fit in
-    memory; see there for format support and error behavior.
+    memory; see there for format support, the ``fastpath`` toggle, and
+    error behavior.
     """
-    return Trace.concat(list(iter_pcap(source)))
+    return Trace.concat(
+        list(iter_pcap(source, chunk_packets=1 << 62, fastpath=fastpath))
+    )

@@ -9,8 +9,10 @@ import pytest
 
 from repro.engine.sharedtrace import (
     SEGMENT_PREFIX,
+    MemmapTraceBuffer,
     SharedTraceBuffer,
     attach_trace,
+    publish_trace,
     reap_stale_segments,
 )
 from repro.trace.trace import Trace
@@ -60,6 +62,69 @@ class TestRoundtrip:
         with SharedTraceBuffer(tiny_trace) as buffer:
             clone = pickle.loads(pickle.dumps(buffer.spec))
             assert clone == buffer.spec
+
+
+class TestMemmapTransport:
+    """File-backed traces ride the memmap transport, copying nothing."""
+
+    @pytest.fixture()
+    def store_backed(self, tmp_path, minute_trace):
+        from repro.trace.pcap import write_pcap
+        from repro.trace.store import TraceStore
+
+        subset = minute_trace.slice_packets(0, 1000)
+        path = str(tmp_path / "capture.pcap")
+        write_pcap(subset, path)
+        store = TraceStore(str(tmp_path / "cache"))
+        return store.build(path), subset
+
+    def test_store_trace_publishes_as_memmap(self, store_backed):
+        trace, subset = store_backed
+        buffer = publish_trace(trace)
+        assert isinstance(buffer, MemmapTraceBuffer)
+        assert buffer.nbytes == sum(
+            getattr(trace, name).nbytes
+            for name in ("timestamps_us", "sizes", "protocols", "src_nets",
+                         "dst_nets", "src_ports", "dst_ports")
+        )
+
+    def test_attach_reconstructs_identically(self, store_backed):
+        trace, subset = store_backed
+        with publish_trace(trace) as buffer:
+            attached, shm = attach_trace(buffer.spec)
+            assert shm is None  # nothing to close on the memmap path
+            assert attached == subset
+
+    def test_spec_is_plain_data(self, store_backed):
+        import pickle
+
+        trace, _ = store_backed
+        buffer = publish_trace(trace)
+        clone = pickle.loads(pickle.dumps(buffer.spec))
+        assert clone == buffer.spec
+
+    def test_plain_trace_falls_back_to_shared_memory(self, tiny_trace):
+        buffer = publish_trace(tiny_trace)
+        assert isinstance(buffer, SharedTraceBuffer)
+        try:
+            trace, shm = attach_trace(buffer.spec)
+            try:
+                assert trace == tiny_trace
+            finally:
+                del trace
+                shm.close()
+        finally:
+            buffer.close()
+
+    def test_close_is_a_noop(self, store_backed):
+        # The store owns the files; closing the buffer must not unmap
+        # or unlink anything a reader still depends on.
+        trace, subset = store_backed
+        buffer = publish_trace(trace)
+        buffer.close()
+        buffer.close()
+        attached, _ = attach_trace(buffer.spec)
+        assert attached == subset
 
 
 class TestLifecycle:

@@ -224,6 +224,79 @@ class TestEngineFlags:
         assert manifest["shards_skipped"] == manifest["shards_total"]
 
 
+class TestCacheCommand:
+    @pytest.fixture()
+    def capture(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        main(["generate", path, "--duration", "5", "--seed", "7"])
+        return path
+
+    def test_parser_accepts_global_flag(self):
+        args = build_parser().parse_args(
+            ["--trace-cache", "/tmp/c", "cache", "t.pcap", "info"]
+        )
+        assert args.trace_cache == "/tmp/c"
+        assert args.action == "info"
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "t.pcap", "frobnicate"])
+
+    def test_requires_configured_cache(self, capture, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        assert main(["cache", capture, "build"]) == 2
+        assert "no trace cache configured" in capsys.readouterr().err
+
+    def test_synthetic_is_never_cached(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["--trace-cache", cache, "cache", "synthetic", "build"]) == 2
+        assert "never cached" in capsys.readouterr().err
+
+    def test_build_info_verify_clear(self, tmp_path, capture, capsys):
+        cache = str(tmp_path / "cache")
+        base = ["--trace-cache", cache, "cache", capture]
+
+        assert main(base + ["build"]) == 0
+        assert "built cache entry" in capsys.readouterr().out
+
+        assert main(base + ["info"]) == 0
+        out = capsys.readouterr().out
+        assert "packets:" in out and "timestamps_us" in out
+
+        assert main(base + ["verify"]) == 0
+        assert "intact" in capsys.readouterr().out
+
+        assert main(base + ["clear"]) == 0
+        assert "removed 1 cache entry" in capsys.readouterr().out
+
+        assert main(base + ["info"]) == 1
+        assert "no cache entry" in capsys.readouterr().out
+
+    def test_build_missing_trace(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        missing = str(tmp_path / "missing.pcap")
+        assert main(["--trace-cache", cache, "cache", missing, "build"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_env_var_configures_cache(self, tmp_path, capture, capsys,
+                                      monkeypatch):
+        cache = str(tmp_path / "cache")
+        monkeypatch.setenv("REPRO_TRACE_CACHE", cache)
+        assert main(["cache", capture, "build"]) == 0
+        capsys.readouterr()
+        assert main(["cache", capture, "verify"]) == 0
+
+    def test_commands_warm_and_use_the_cache(self, tmp_path, capture, capsys):
+        import os
+
+        cache = str(tmp_path / "cache")
+        assert main(["--trace-cache", cache, "describe", capture]) == 0
+        capsys.readouterr()
+        # The first load populated an entry; subsequent runs hit it.
+        assert os.path.isdir(cache) and os.listdir(cache)
+        assert main(["--trace-cache", cache, "cache", capture, "verify"]) == 0
+
+
 class TestDocParserAgreement:
     """The module docstring's subcommand bullets track the parser.
 
